@@ -1,0 +1,66 @@
+// Command raven-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	raven-bench -list
+//	raven-bench -exp fig9
+//	raven-bench -exp all -quick
+//	raven-bench -exp fig3 -csv
+//
+// Each experiment prints the same rows/series the paper reports; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"raven/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (fig2a..fig21, tab2..tab8, ablations) or 'all'")
+		quick   = flag.Bool("quick", false, "tiny workloads and training budgets (~1 min for 'all')")
+		scale   = flag.Float64("scale", 1, "workload scale multiplier")
+		seed    = flag.Int64("seed", 42, "random seed")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		verbose = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.All, "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "raven-bench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Quick: *quick, Scale: *scale, Seed: *seed}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	runner := experiments.NewRunner(cfg)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.All
+	}
+	for _, id := range ids {
+		rep, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raven-bench:", err)
+			os.Exit(1)
+		}
+		if *csvOut {
+			rep.CSV(os.Stdout)
+		} else {
+			rep.Fprint(os.Stdout)
+		}
+	}
+}

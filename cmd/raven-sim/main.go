@@ -1,0 +1,134 @@
+// Command raven-sim replays a cache trace through one or more eviction
+// policies and reports hit ratios, latency, traffic and eviction-time
+// statistics.
+//
+// Usage:
+//
+//	raven-sim -trace wiki18 -policies raven,lrb,lru -cachefrac 0.02
+//	raven-sim -synthetic uniform -requests 200000 -capacity 100
+//	raven-sim -file trace.txt -policies lru -capacity 1048576
+//
+// Traces come from the built-in production-like generators (-trace),
+// the synthetic renewal generators (-synthetic), or a "time key size"
+// file (-file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"raven/internal/policy"
+	"raven/internal/sim"
+	"raven/internal/trace"
+)
+
+func main() {
+	var (
+		prodName  = flag.String("trace", "", "production-like preset: wiki18|wiki19|wikimedia19|twitter17|twitter29|twitter52")
+		synthName = flag.String("synthetic", "", "synthetic interarrival law: poisson|uniform|pareto")
+		file      = flag.String("file", "", "trace file in 'time key size' format")
+		requests  = flag.Int("requests", 200000, "synthetic trace length")
+		objects   = flag.Int("objects", 1000, "synthetic object count")
+		varSizes  = flag.Bool("varsizes", false, "synthetic: variable object sizes U(10,1600)")
+		scale     = flag.Float64("scale", 0.5, "production trace scale")
+		policies  = flag.String("policies", "lru,lfuda,lrb,lhr,raven", "comma-separated policy names")
+		capacity  = flag.Int64("capacity", 0, "cache capacity in bytes (overrides -cachefrac)")
+		cacheFrac = flag.Float64("cachefrac", 0.02, "cache capacity as a fraction of unique bytes")
+		warmup    = flag.Float64("warmup", 0.3, "fraction of requests excluded from statistics")
+		netKind   = flag.String("net", "", "latency model: cdn|memory|'' (off)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		listPols  = flag.Bool("list", false, "list available policies and exit")
+	)
+	flag.Parse()
+
+	if *listPols {
+		fmt.Println(strings.Join(policy.Names(), "\n"))
+		return
+	}
+
+	tr, err := loadTrace(*prodName, *synthName, *file, *requests, *objects, *varSizes, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raven-sim:", err)
+		os.Exit(1)
+	}
+	cap := *capacity
+	if cap == 0 {
+		cap = int64(float64(tr.UniqueBytes()) * *cacheFrac)
+		if cap < 64 {
+			cap = 64
+		}
+	}
+	opts := sim.Options{Capacity: cap, WarmupFrac: *warmup, Seed: *seed}
+	switch *netKind {
+	case "cdn":
+		opts.Net = sim.CDNModel()
+	case "memory":
+		opts.Net = sim.InMemoryModel()
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "raven-sim: unknown -net %q\n", *netKind)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace=%s requests=%d objects=%d uniqueBytes=%d capacity=%d\n",
+		tr.Name, tr.Len(), tr.UniqueObjects(), tr.UniqueBytes(), cap)
+	fmt.Printf("%-18s %8s %8s %12s %12s %10s\n", "policy", "OHR", "BHR", "evictions", "evict(ns)", "wall")
+	for _, name := range strings.Split(*policies, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := policy.New(name, policy.Options{
+			Capacity:    cap,
+			TrainWindow: tr.Duration() / 8,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raven-sim:", err)
+			os.Exit(1)
+		}
+		res := sim.Run(tr, p, opts)
+		fmt.Printf("%-18s %8.4f %8.4f %12d %12.0f %10v\n",
+			name, res.OHR, res.BHR, res.Stats.Evictions, res.EvictionNanos.Mean, res.WallTime.Round(1e6))
+		if opts.Net != nil {
+			fmt.Printf("  avgLat=%v p90=%v backendMB=%.1f throughput=%.2fGbps/%.1fKRPS\n",
+				res.Net.AvgLatency, res.Net.P90Latency,
+				float64(res.Net.BackendBytes)/(1<<20),
+				res.Net.ThroughputGbps, res.Net.ThroughputKRPS)
+		}
+	}
+}
+
+func loadTrace(prod, synth, file string, requests, objects int, varSizes bool, scale float64, seed int64) (*trace.Trace, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadCSV(f, file)
+	case prod != "":
+		return trace.ProductionTrace(trace.ProductionPreset(prod), scale, seed), nil
+	case synth != "":
+		var d trace.Interarrival
+		switch synth {
+		case "poisson":
+			d = trace.Poisson
+		case "uniform":
+			d = trace.Uniform
+		case "pareto":
+			d = trace.Pareto
+		default:
+			return nil, fmt.Errorf("unknown synthetic law %q", synth)
+		}
+		return trace.Synthetic(trace.SynthConfig{
+			Objects: objects, Requests: requests, Interarrival: d,
+			VariableSizes: varSizes, Seed: seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("one of -trace, -synthetic, -file is required")
+	}
+}

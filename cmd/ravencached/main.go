@@ -1,0 +1,66 @@
+// Command ravencached runs the TCP cache server (the paper's §5.4
+// prototype) with any eviction policy from this repository.
+//
+// Usage:
+//
+//	ravencached -addr :7070 -capacity 1073741824 -policy raven
+//
+// Protocol (line-based text over TCP):
+//
+//	GET <key> <size> [time]  →  HIT <size> | MISS <size>
+//	STATS                    →  STATS <requests> <hits> <reqBytes> <hitBytes>
+//	QUIT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"raven/internal/policy"
+	"raven/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		capacity = flag.Int64("capacity", 64<<20, "cache capacity in bytes")
+		polName  = flag.String("policy", "raven", "eviction policy name")
+		window   = flag.Int64("window", 100000, "learning-policy training window in trace ticks")
+		cacheMS  = flag.Int("cachedelay", 0, "simulated per-request delay (ms)")
+		originMS = flag.Int("origindelay", 0, "simulated per-miss origin delay (ms)")
+		seed     = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	p, err := policy.New(*polName, policy.Options{
+		Capacity:    *capacity,
+		TrainWindow: *window,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ravencached:", err)
+		os.Exit(1)
+	}
+	srv, err := server.New(server.Config{
+		Addr:        *addr,
+		Capacity:    *capacity,
+		Policy:      p,
+		CacheDelay:  time.Duration(*cacheMS) * time.Millisecond,
+		OriginDelay: time.Duration(*originMS) * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ravencached:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ravencached: policy=%s capacity=%d listening on %s\n", *polName, *capacity, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := srv.Stats()
+	fmt.Printf("\nravencached: %d requests, OHR %.4f, BHR %.4f\n", st.Requests, st.OHR(), st.BHR())
+	srv.Close()
+}

@@ -1,0 +1,47 @@
+package raven_test
+
+import (
+	"fmt"
+
+	"raven"
+)
+
+// ExampleSimulate replays a synthetic workload through an LRU cache
+// and prints the hit ratio.
+func ExampleSimulate() {
+	tr := raven.SyntheticTrace(raven.SynthConfig{
+		Objects: 100, Requests: 20000, Interarrival: raven.Poisson, Seed: 1,
+	})
+	p := raven.MustNewPolicy("lru", raven.PolicyOptions{Capacity: 50})
+	res := raven.Simulate(tr, p, raven.SimOptions{Capacity: 50})
+	fmt.Printf("requests=%d evictions>0=%v hit ratio in (0,1)=%v\n",
+		res.Stats.Requests, res.Stats.Evictions > 0, res.OHR > 0 && res.OHR < 1)
+	// Output:
+	// requests=20000 evictions>0=true hit ratio in (0,1)=true
+}
+
+// ExampleNewPolicy shows building baselines by name and comparing them
+// against the offline optimum.
+func ExampleNewPolicy() {
+	tr := raven.SyntheticTrace(raven.SynthConfig{
+		Objects: 100, Requests: 10000, Interarrival: raven.Uniform, Seed: 2,
+	})
+	opts := raven.SimOptions{Capacity: 30}
+	lru := raven.Simulate(tr, raven.MustNewPolicy("lru", raven.PolicyOptions{Capacity: 30}), opts)
+	opt := raven.Simulate(tr, raven.MustNewPolicy("belady", raven.PolicyOptions{Capacity: 30}), opts)
+	fmt.Println("belady beats lru:", opt.OHR > lru.OHR)
+	// Output:
+	// belady beats lru: true
+}
+
+// ExampleNewCache drives the cache engine directly, request by
+// request.
+func ExampleNewCache() {
+	c := raven.NewCache(2, raven.MustNewPolicy("lru", raven.PolicyOptions{Capacity: 2}))
+	c.Handle(raven.Request{Time: 1, Key: 1, Size: 1})
+	c.Handle(raven.Request{Time: 2, Key: 2, Size: 1})
+	c.Handle(raven.Request{Time: 3, Key: 3, Size: 1}) // evicts key 1
+	fmt.Println(c.Contains(1), c.Contains(2), c.Contains(3))
+	// Output:
+	// false true true
+}

@@ -1,0 +1,3 @@
+module raven
+
+go 1.22

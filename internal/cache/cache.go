@@ -1,0 +1,238 @@
+// Package cache provides the cache engine shared by every eviction
+// policy in this repository: size accounting, the eviction loop,
+// admission hooks, hit/byte statistics, and the sampled-candidate
+// infrastructure used by sampling-based policies (LHD, Hyperbolic,
+// LRB, LHR, Raven).
+//
+// The engine owns which objects are resident and how many bytes are
+// used; policies own their metadata and answer the single question
+// "which object should be evicted next?".
+package cache
+
+import (
+	"fmt"
+
+	"raven/internal/trace"
+)
+
+// Key aliases trace.Key so policy packages need not import both.
+type Key = trace.Key
+
+// Request aliases trace.Request.
+type Request = trace.Request
+
+// Policy decides evictions. The engine calls exactly one of OnHit or
+// OnMiss per request, then OnAdmit if a missed object is inserted, and
+// OnEvict for every object removed. Victim must return a currently
+// cached key; it is called repeatedly until the new object fits.
+//
+// Policies are not safe for concurrent use; the engine serializes all
+// calls.
+type Policy interface {
+	// Name returns the policy's short display name (e.g. "lru").
+	Name() string
+	// OnHit observes a request for a cached object.
+	OnHit(req Request)
+	// OnMiss observes a request for an uncached object, before any
+	// admission or eviction happens.
+	OnMiss(req Request)
+	// OnAdmit observes the insertion of a previously missed object.
+	OnAdmit(req Request)
+	// OnEvict observes the removal of a cached object and must drop
+	// the policy's metadata for it.
+	OnEvict(key Key)
+	// Victim returns the next object to evict. ok is false when the
+	// policy tracks nothing evictable (the engine then refuses the
+	// admission instead of looping forever).
+	Victim() (key Key, ok bool)
+}
+
+// Admitter is an optional Policy extension implementing admission
+// control (e.g. AdaptSize, ThLRU): a missed object is inserted only if
+// ShouldAdmit returns true.
+type Admitter interface {
+	ShouldAdmit(req Request) bool
+}
+
+// Footprinter is an optional Policy extension reporting the per-object
+// metadata footprint in bytes (the §6.1.1 memory-overhead comparison:
+// the paper reports 136/72 B for Raven, 176 B for LRB, 84 B for LHR).
+type Footprinter interface {
+	MetadataBytesPerObject() int64
+}
+
+// Flusher is an optional Policy extension for policies that buffer
+// training data (LRB, LHR, Raven); the simulator calls Flush at the
+// end of a run so final statistics (e.g. training counters) are
+// complete.
+type Flusher interface {
+	Flush()
+}
+
+// Stats accumulates the hit-ratio statistics the paper reports.
+type Stats struct {
+	Requests  int64
+	Hits      int64
+	ReqBytes  int64
+	HitBytes  int64
+	Evictions int64
+	// OneHitWonders counts evicted objects that were never hit between
+	// admission and eviction (Table 8).
+	OneHitWonders int64
+	// Admissions counts objects inserted after a miss.
+	Admissions int64
+	// Rejections counts misses refused by admission control or size.
+	Rejections int64
+}
+
+// OHR returns the object hit ratio.
+func (s Stats) OHR() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// BHR returns the byte hit ratio.
+func (s Stats) BHR() float64 {
+	if s.ReqBytes == 0 {
+		return 0
+	}
+	return float64(s.HitBytes) / float64(s.ReqBytes)
+}
+
+// MissBytes returns the bytes fetched from the origin/backend.
+func (s Stats) MissBytes() int64 { return s.ReqBytes - s.HitBytes }
+
+type entry struct {
+	size int64
+	hits int64
+}
+
+// Cache couples a Policy with capacity accounting.
+type Cache struct {
+	capacity int64
+	used     int64
+	entries  map[Key]entry
+	policy   Policy
+	stats    Stats
+	observer func(victim Key)
+}
+
+// SetEvictionObserver registers fn, invoked with every victim just
+// before it is removed (while it is still resident). The simulator
+// uses this for rank-order error measurement; passing nil disables it.
+func (c *Cache) SetEvictionObserver(fn func(victim Key)) { c.observer = fn }
+
+// New creates a cache of the given byte capacity driven by policy.
+// It panics if capacity is not positive or policy is nil.
+func New(capacity int64, policy Policy) *Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	if policy == nil {
+		panic("cache: nil policy")
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[Key]entry, 1024),
+		policy:   policy,
+	}
+}
+
+// Capacity returns the configured capacity in bytes.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() int64 { return c.used }
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Policy returns the driving policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without touching cache contents or
+// policy state. The simulator uses it to exclude warmup periods, as
+// the paper does for its synthetic experiments (Appendix C.1).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Contains reports whether key is cached.
+func (c *Cache) Contains(key Key) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Keys appends all cached keys to dst and returns it. The order is
+// map-iteration order; callers needing determinism must sort.
+func (c *Cache) Keys(dst []Key) []Key {
+	for k := range c.entries {
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// Handle processes one request and reports whether it hit. On a miss
+// the object is admitted (evicting as needed) unless it exceeds the
+// capacity or the policy's admission control refuses it.
+func (c *Cache) Handle(req Request) bool {
+	c.stats.Requests++
+	c.stats.ReqBytes += req.Size
+	if e, ok := c.entries[req.Key]; ok {
+		c.stats.Hits++
+		c.stats.HitBytes += req.Size
+		e.hits++
+		c.entries[req.Key] = e
+		c.policy.OnHit(req)
+		return true
+	}
+	c.policy.OnMiss(req)
+	if req.Size > c.capacity {
+		c.stats.Rejections++
+		return false
+	}
+	if adm, ok := c.policy.(Admitter); ok && !adm.ShouldAdmit(req) {
+		c.stats.Rejections++
+		return false
+	}
+	for c.used+req.Size > c.capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			c.stats.Rejections++
+			return false
+		}
+		c.evict(victim)
+	}
+	c.entries[req.Key] = entry{size: req.Size}
+	c.used += req.Size
+	c.stats.Admissions++
+	c.policy.OnAdmit(req)
+	return false
+}
+
+func (c *Cache) evict(key Key) {
+	e, ok := c.entries[key]
+	if !ok {
+		panic(fmt.Sprintf("cache: policy %q returned non-resident victim %d", c.policy.Name(), key))
+	}
+	if c.observer != nil {
+		c.observer(key)
+	}
+	delete(c.entries, key)
+	c.used -= e.size
+	c.stats.Evictions++
+	if e.hits == 0 {
+		c.stats.OneHitWonders++
+	}
+	c.policy.OnEvict(key)
+}
+
+// Flush invokes the policy's Flush hook, if any.
+func (c *Cache) Flush() {
+	if f, ok := c.policy.(Flusher); ok {
+		f.Flush()
+	}
+}

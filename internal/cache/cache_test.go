@@ -1,0 +1,281 @@
+package cache
+
+import (
+	"container/list"
+	"testing"
+	"testing/quick"
+
+	"raven/internal/stats"
+)
+
+// testLRU is a minimal LRU policy for exercising the engine.
+type testLRU struct {
+	ll    *list.List
+	items map[Key]*list.Element
+}
+
+func newTestLRU() *testLRU {
+	return &testLRU{ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+func (p *testLRU) Name() string { return "test-lru" }
+func (p *testLRU) OnHit(req Request) {
+	if e, ok := p.items[req.Key]; ok {
+		p.ll.MoveToFront(e)
+	}
+}
+func (p *testLRU) OnMiss(Request) {}
+func (p *testLRU) OnAdmit(req Request) {
+	p.items[req.Key] = p.ll.PushFront(req.Key)
+}
+func (p *testLRU) OnEvict(key Key) {
+	if e, ok := p.items[key]; ok {
+		p.ll.Remove(e)
+		delete(p.items, key)
+	}
+}
+func (p *testLRU) Victim() (Key, bool) {
+	if b := p.ll.Back(); b != nil {
+		return b.Value.(Key), true
+	}
+	return 0, false
+}
+
+func req(t int64, k Key, s int64) Request { return Request{Time: t, Key: k, Size: s} }
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(10, newTestLRU())
+	if c.Handle(req(1, 1, 4)) {
+		t.Error("first access must miss")
+	}
+	if !c.Handle(req(2, 1, 4)) {
+		t.Error("second access must hit")
+	}
+	st := c.Stats()
+	if st.Requests != 2 || st.Hits != 1 || st.HitBytes != 4 || st.ReqBytes != 8 {
+		t.Errorf("bad stats: %+v", st)
+	}
+}
+
+func TestCacheEvictsToFit(t *testing.T) {
+	c := New(10, newTestLRU())
+	c.Handle(req(1, 1, 4))
+	c.Handle(req(2, 2, 4))
+	c.Handle(req(3, 3, 7)) // 8+7 > 10: must evict both 1 and 2
+	if c.Contains(1) || c.Contains(2) {
+		t.Error("older entries should be evicted")
+	}
+	if !c.Contains(3) {
+		t.Error("new entry should be admitted")
+	}
+	if c.Used() != 7 {
+		t.Errorf("used %d, want 7", c.Used())
+	}
+	if c.Stats().Evictions != 2 {
+		t.Errorf("evictions %d, want 2", c.Stats().Evictions)
+	}
+}
+
+func TestCacheRejectsOversized(t *testing.T) {
+	c := New(10, newTestLRU())
+	c.Handle(req(1, 1, 4))
+	c.Handle(req(2, 2, 100)) // bigger than capacity
+	if c.Contains(2) {
+		t.Error("oversized object must not be admitted")
+	}
+	if !c.Contains(1) {
+		t.Error("existing entry should survive an oversized miss")
+	}
+	if c.Stats().Rejections != 1 {
+		t.Errorf("rejections %d", c.Stats().Rejections)
+	}
+}
+
+type denyAll struct{ *testLRU }
+
+func (denyAll) ShouldAdmit(Request) bool { return false }
+
+func TestCacheAdmissionControl(t *testing.T) {
+	c := New(10, denyAll{newTestLRU()})
+	c.Handle(req(1, 1, 4))
+	if c.Len() != 0 {
+		t.Error("admitter should have rejected everything")
+	}
+	if c.Stats().Rejections != 1 {
+		t.Errorf("rejections %d", c.Stats().Rejections)
+	}
+}
+
+func TestOneHitWonderCounting(t *testing.T) {
+	c := New(4, newTestLRU())
+	c.Handle(req(1, 1, 4)) // admitted, never hit
+	c.Handle(req(2, 2, 4)) // evicts 1 -> one-hit wonder
+	c.Handle(req(3, 2, 4)) // hit
+	c.Handle(req(4, 3, 4)) // evicts 2 (which was hit)
+	st := c.Stats()
+	if st.OneHitWonders != 1 {
+		t.Errorf("one-hit wonders %d, want 1", st.OneHitWonders)
+	}
+}
+
+func TestEvictionObserverSeesResidentVictim(t *testing.T) {
+	c := New(4, newTestLRU())
+	var observed []Key
+	c.SetEvictionObserver(func(v Key) {
+		if !c.Contains(v) {
+			t.Error("victim must still be resident inside the observer")
+		}
+		observed = append(observed, v)
+	})
+	c.Handle(req(1, 1, 4))
+	c.Handle(req(2, 2, 4))
+	if len(observed) != 1 || observed[0] != 1 {
+		t.Errorf("observed %v, want [1]", observed)
+	}
+}
+
+func TestCacheInvariantsUnderRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		c := New(50, newTestLRU())
+		for i := 0; i < 2000; i++ {
+			k := Key(g.Intn(40))
+			s := int64(1 + g.Intn(10))
+			// Engine requires consistent sizes per key.
+			s = int64(1 + int(k)%10)
+			c.Handle(req(int64(i), k, s))
+			if c.Used() > c.Capacity() {
+				return false
+			}
+			_ = s
+		}
+		st := c.Stats()
+		return st.Hits+st.Admissions+st.Rejections == st.Requests &&
+			st.HitBytes <= st.ReqBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	s := Stats{Requests: 10, Hits: 4, ReqBytes: 100, HitBytes: 25}
+	if s.OHR() != 0.4 || s.BHR() != 0.25 || s.MissBytes() != 75 {
+		t.Errorf("bad ratios: %+v", s)
+	}
+	var zero Stats
+	if zero.OHR() != 0 || zero.BHR() != 0 {
+		t.Error("zero stats should have zero ratios")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(10, newTestLRU())
+	c.Handle(req(1, 1, 4))
+	c.ResetStats()
+	if c.Stats().Requests != 0 {
+		t.Error("stats should be zeroed")
+	}
+	if !c.Contains(1) {
+		t.Error("contents must survive a stats reset")
+	}
+}
+
+func TestSampledSetBasics(t *testing.T) {
+	s := NewSampledSet[int]()
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(1, 11) // overwrite
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if v, ok := s.Get(1); !ok || v != 11 {
+		t.Errorf("Get(1) = %v,%v", v, ok)
+	}
+	s.Remove(1)
+	if _, ok := s.Get(1); ok {
+		t.Error("1 should be gone")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len %d after remove", s.Len())
+	}
+	s.Remove(99) // no-op
+}
+
+func TestSampledSetRef(t *testing.T) {
+	s := NewSampledSet[int]()
+	s.Add(5, 1)
+	if p := s.Ref(5); p == nil {
+		t.Fatal("Ref returned nil")
+	} else {
+		*p = 42
+	}
+	if v, _ := s.Get(5); v != 42 {
+		t.Errorf("in-place update lost: %v", v)
+	}
+	if s.Ref(6) != nil {
+		t.Error("Ref of missing key should be nil")
+	}
+}
+
+func TestSampledSetSampleDistinct(t *testing.T) {
+	s := NewSampledSet[struct{}]()
+	for k := Key(0); k < 100; k++ {
+		s.Add(k, struct{}{})
+	}
+	g := stats.NewRNG(3)
+	idx := s.Sample(g, 30, nil)
+	if len(idx) != 30 {
+		t.Fatalf("sampled %d, want 30", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatal("duplicate sample index")
+		}
+		seen[i] = true
+	}
+	// Requesting more than available returns everything.
+	idx = s.Sample(g, 500, idx)
+	if len(idx) != 100 {
+		t.Errorf("oversample returned %d", len(idx))
+	}
+}
+
+func TestSampledSetSwapDeleteConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		s := NewSampledSet[int]()
+		ref := make(map[Key]int)
+		for i := 0; i < 500; i++ {
+			k := Key(g.Intn(50))
+			if g.Float64() < 0.6 {
+				s.Add(k, i)
+				ref[k] = i
+			} else {
+				s.Remove(k)
+				delete(ref, k)
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+		}
+		for k, v := range ref {
+			got, ok := s.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Every At index must round-trip through the index map.
+		for i := 0; i < s.Len(); i++ {
+			k, vp := s.At(i)
+			if want := ref[k]; *vp != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

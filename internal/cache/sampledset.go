@@ -1,0 +1,100 @@
+package cache
+
+import "raven/internal/stats"
+
+// SampledSet is the shared metadata container for sampling-based
+// policies: O(1) insert, delete and membership plus O(1) uniform
+// random candidate selection, implemented as a swap-delete slice with
+// an index map (§4.3.1: "randomly samples cached objects to get
+// eviction candidates").
+type SampledSet[V any] struct {
+	keys  []Key
+	vals  []V
+	index map[Key]int
+}
+
+// NewSampledSet creates an empty set.
+func NewSampledSet[V any]() *SampledSet[V] {
+	return &SampledSet[V]{index: make(map[Key]int, 1024)}
+}
+
+// Len returns the number of stored keys.
+func (s *SampledSet[V]) Len() int { return len(s.keys) }
+
+// Add stores v under k, replacing any existing value.
+func (s *SampledSet[V]) Add(k Key, v V) {
+	if i, ok := s.index[k]; ok {
+		s.vals[i] = v
+		return
+	}
+	s.index[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+	s.vals = append(s.vals, v)
+}
+
+// Get returns the value stored under k.
+func (s *SampledSet[V]) Get(k Key) (V, bool) {
+	if i, ok := s.index[k]; ok {
+		return s.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Ref returns a pointer to k's value for in-place updates, or nil if
+// absent. The pointer is invalidated by the next Add or Remove.
+func (s *SampledSet[V]) Ref(k Key) *V {
+	if i, ok := s.index[k]; ok {
+		return &s.vals[i]
+	}
+	return nil
+}
+
+// Remove deletes k if present.
+func (s *SampledSet[V]) Remove(k Key) {
+	i, ok := s.index[k]
+	if !ok {
+		return
+	}
+	last := len(s.keys) - 1
+	s.keys[i] = s.keys[last]
+	s.vals[i] = s.vals[last]
+	s.index[s.keys[i]] = i
+	s.keys = s.keys[:last]
+	s.vals = s.vals[:last]
+	var zero V
+	_ = zero
+	delete(s.index, k)
+}
+
+// At returns the i-th key and a pointer to its value. The pointer is
+// invalidated by the next Add or Remove.
+func (s *SampledSet[V]) At(i int) (Key, *V) { return s.keys[i], &s.vals[i] }
+
+// Sample writes up to n distinct random indices into dst and returns
+// it. When the set holds fewer than n items all indices are returned.
+// Distinctness uses a partial Fisher-Yates over a scratch permutation
+// kept inside the set, so repeated calls do not allocate.
+func (s *SampledSet[V]) Sample(g *stats.RNG, n int, dst []int) []int {
+	dst = dst[:0]
+	m := len(s.keys)
+	if m == 0 {
+		return dst
+	}
+	if n >= m {
+		for i := 0; i < m; i++ {
+			dst = append(dst, i)
+		}
+		return dst
+	}
+	seen := make(map[int]struct{}, n)
+	for len(dst) < n {
+		i := g.Intn(m)
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		dst = append(dst, i)
+	}
+	return dst
+}

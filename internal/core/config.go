@@ -1,0 +1,133 @@
+// Package core implements Raven, the paper's contribution (§3–4): a
+// Belady-guided eviction policy that learns each object's
+// residual-time distribution with a mixture density network and
+// evicts the cached object with the largest probability of having the
+// farthest next arrival, estimated by Monte Carlo order statistics
+// (Eq. 1c). A size-weighted variant of the priority score targets the
+// object hit ratio (§3.4).
+package core
+
+import (
+	"raven/internal/nn"
+)
+
+// Goal selects the optimization target of §3.4.
+type Goal int
+
+// Optimization goals.
+const (
+	// GoalBHR maximizes byte hit ratio: evict the object most likely
+	// to arrive farthest in the future (the original priority score).
+	GoalBHR Goal = iota
+	// GoalOHR maximizes object hit ratio: weight the priority score by
+	// object size so large far-future objects are evicted first.
+	GoalOHR
+)
+
+// String returns the goal name.
+func (g Goal) String() string {
+	if g == GoalOHR {
+		return "ohr"
+	}
+	return "bhr"
+}
+
+// Config parameterizes a Raven policy. The zero value plus a positive
+// TrainWindow is usable; defaults follow §4 and §5.1.3 (scaled to the
+// CPU-only substrate per DESIGN.md).
+type Config struct {
+	Goal Goal
+
+	// CandidateSample is the number of cached objects sampled as
+	// eviction candidates (§4.3.1; default 64).
+	CandidateSample int
+	// ResidualSamples is M, the Monte Carlo draws per candidate used
+	// to estimate the priority score (§4.3.2; default 100).
+	ResidualSamples int
+	// ExactPriority evaluates the exact priority integral of Eq. 1b by
+	// quadrature instead of Monte Carlo sampling. The paper calls this
+	// "optimal [but] too complicated and computationally expensive"
+	// (§3.3); it is O(candidates² · grid) per eviction and exists for
+	// explainability experiments and as the reference the sampled
+	// estimator converges to.
+	ExactPriority bool
+
+	// TrainWindow is the elapsed virtual time between retrainings
+	// (§4.1, "1 day" in the paper). Required.
+	TrainWindow int64
+	// SampleBudgetBytes caps the unique bytes of objects admitted to
+	// the training sample (§4.1 uses 5× the cache size). Values <= 0
+	// disable the cap.
+	SampleBudgetBytes int64
+	// MaxTrainObjects additionally caps the number of sampled objects
+	// (0 = default 4000), keeping CPU training time bounded.
+	MaxTrainObjects int
+
+	// HistoryLen is the per-object ring of recent interarrival times
+	// kept for re-embedding after a model swap (default 16).
+	HistoryLen int
+
+	// Net configures the mixture density network. A zero TimeScale is
+	// inferred from the first window's mean interarrival time.
+	Net nn.Config
+	// Train configures the optimization loop. Train.Survival is
+	// overridden by Survival below.
+	Train nn.TrainConfig
+	// DisableSurvival removes the survival-probability loss term
+	// (the Fig. 5 ablation).
+	DisableSurvival bool
+
+	// WarmStart continues training the previous network each window
+	// instead of fitting a fresh one (default true behaviour; set
+	// ColdStart to disable).
+	ColdStart bool
+
+	// DriftThreshold, when positive, enables the §6.1.1 retraining
+	// optimization: a window only retrains when the two-sample KS
+	// statistic between its interarrival distribution and the previous
+	// window's is at least this value (0.05–0.15 are sensible). The
+	// first window always trains.
+	DriftThreshold float64
+
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.CandidateSample == 0 {
+		c.CandidateSample = 64
+	}
+	if c.ResidualSamples == 0 {
+		c.ResidualSamples = 100
+	}
+	if c.HistoryLen == 0 {
+		c.HistoryLen = 16
+	}
+	if c.MaxTrainObjects == 0 {
+		c.MaxTrainObjects = 4000
+	}
+	if c.Net.Hidden == 0 {
+		c.Net.Hidden = 16
+	}
+	if c.Net.MLPHidden == 0 {
+		c.Net.MLPHidden = 24
+	}
+	if c.Net.K == 0 {
+		c.Net.K = 8
+	}
+	if c.Train.MaxEpochs == 0 {
+		c.Train.MaxEpochs = 30
+	}
+	if c.Train.Patience == 0 {
+		c.Train.Patience = 5
+	}
+	if c.Train.MaxSeq == 0 {
+		c.Train.MaxSeq = 32
+	}
+	c.Train.Survival = !c.DisableSurvival
+	if c.Train.Seed == 0 {
+		c.Train.Seed = c.Seed + 1
+	}
+	if c.Net.Seed == 0 {
+		c.Net.Seed = c.Seed + 2
+	}
+}

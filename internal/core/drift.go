@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// driftDetector implements the §6.1.1 retraining optimization:
+// "retraining only when request patterns change significantly between
+// two consecutive windows". It keeps a bounded sample of log
+// interarrival times per window and compares consecutive windows with
+// a two-sample Kolmogorov–Smirnov statistic; retraining is skipped
+// when the statistic falls below the threshold.
+type driftDetector struct {
+	threshold float64
+	prev      []float64
+	cur       []float64
+	maxSample int
+	seen      int
+}
+
+func newDriftDetector(threshold float64, maxSample int) *driftDetector {
+	if maxSample <= 0 {
+		maxSample = 2048
+	}
+	return &driftDetector{threshold: threshold, maxSample: maxSample}
+}
+
+// observe records one interarrival time from the current window,
+// subsampling deterministically once the buffer is full.
+func (d *driftDetector) observe(tau float64) {
+	d.seen++
+	if len(d.cur) < d.maxSample {
+		d.cur = append(d.cur, math.Log1p(tau))
+		return
+	}
+	// Deterministic decimation keeps the sample spread over the window.
+	if d.seen%(d.seen/d.maxSample+1) == 0 {
+		d.cur[d.seen%d.maxSample] = math.Log1p(tau)
+	}
+}
+
+// shouldRetrain closes the current window and reports whether its
+// distribution drifted from the previous window's. The first window
+// always trains.
+func (d *driftDetector) shouldRetrain() bool {
+	defer func() {
+		d.prev = d.cur
+		d.cur = nil
+		d.seen = 0
+	}()
+	if d.prev == nil || len(d.cur) < 32 || len(d.prev) < 32 {
+		return true
+	}
+	return ksStatistic(d.prev, d.cur) >= d.threshold
+}
+
+// ksStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// sup |F1 - F2|. Inputs are modified (sorted).
+func ksStatistic(a, b []float64) float64 {
+	sort.Float64s(a)
+	sort.Float64s(b)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"raven/internal/cache"
+	"raven/internal/nn"
+	"raven/internal/trace"
+)
+
+// TestExactPriorityEviction runs Raven with the Eq. 1b quadrature rule
+// (small candidate set to keep the O(n²·grid) cost bounded) and checks
+// the Monte Carlo rule converges to it as M grows — the policy-level
+// analogue of the estimator-convergence test in priority.go.
+//
+// Interesting regime note: at small M the MC rule can *outperform* the
+// exact rule under a weakly-trained model, because estimator noise
+// diversifies evictions away from systematic model bias. The paper's
+// M=100 default sits in the regime where the estimator has converged
+// (Fig. 6) while retaining a little of that jitter.
+func TestExactPriorityEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 200, Requests: 30000, Interarrival: trace.Uniform, Seed: 21,
+	})
+	run := func(exact bool, m int) float64 {
+		cfg := Config{
+			TrainWindow:     tr.Duration() / 4,
+			CandidateSample: 8,
+			ResidualSamples: m,
+			ExactPriority:   exact,
+			MaxTrainObjects: 300,
+			Net:             nn.Config{Hidden: 8, MLPHidden: 12, K: 4},
+			Train:           nn.TrainConfig{MaxEpochs: 8, Patience: 3},
+			Seed:            23,
+		}
+		c := cache.New(40, New(cfg))
+		hits := 0
+		for i, r := range tr.Reqs {
+			if c.Handle(r) && i > len(tr.Reqs)/2 {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(tr.Reqs)/2)
+	}
+	exact := run(true, 50)
+	mcConverged := run(false, 1000)
+	if d := exact - mcConverged; d < -0.03 || d > 0.03 {
+		t.Errorf("exact (%.4f) and converged MC (%.4f) rules diverge by %.4f", exact, mcConverged, d)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"raven/internal/nn"
+	"raven/internal/stats"
+)
+
+// TestExactPriorityHugeSigmaRegression guards the exp-overflow bug:
+// trained mixtures can carry components with log-stddev at the +7
+// clamp (sigma ≈ 1100), whose ±6σ log-grid reaches exp-overflow
+// territory; the integrand must not produce 0·Inf = NaN and the
+// quadrature must still agree with Monte Carlo.
+func TestExactPriorityHugeSigmaRegression(t *testing.T) {
+	g := stats.NewRNG(1)
+	mixes := make([]nn.Mixture, 8)
+	for i := range mixes {
+		aW := []float64{2, -4, 0.5, -1}
+		aMu := []float64{g.Uniform(-1, 3), 0, g.Uniform(-1, 3), 1}
+		aS := []float64{-0.5, 7, 0.3, -1} // one clamped huge-sigma component
+		nn.MixtureFromActivations(aW, aMu, aS, &mixes[i])
+	}
+	exact := PriorityScoresExact(mixes, 256)
+	sum := 0.0
+	for j, p := range exact {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < -1e-9 {
+			t.Fatalf("score %d is invalid: %v", j, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Errorf("scores sum to %.4f, want ~1", sum)
+	}
+	mc := PriorityScoresMC(mixes, 100000, g)
+	for j := range mixes {
+		if d := math.Abs(exact[j] - mc[j]); d > 0.02 {
+			t.Errorf("candidate %d: exact %.4f vs MC %.4f", j, exact[j], mc[j])
+		}
+	}
+}

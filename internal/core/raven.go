@@ -1,0 +1,387 @@
+package core
+
+import (
+	"container/list"
+	"math"
+
+	"raven/internal/cache"
+	"raven/internal/nn"
+	"raven/internal/stats"
+)
+
+// objHist is an object's arrival-history state. Raven keeps it across
+// evictions (like LRB's feature store): an object that re-enters the
+// cache resumes with its learned history instead of a cold embedding.
+type objHist struct {
+	lastSeen   int64
+	size       int64
+	hist       []float64 // ring of recent interarrival times, oldest first
+	emb        []float64 // history embedding h (§4.2.1)
+	embVersion int       // nn.Net.Version the embedding was computed with; -1 = stale
+	elem       *list.Element
+}
+
+// Raven is the learning cache policy. Create it with New; it
+// implements cache.Policy and falls back to LRU until its first model
+// is trained (§4.1).
+type Raven struct {
+	cfg Config
+	net *nn.Net
+	rng *stats.RNG
+
+	hists map[cache.Key]*objHist // global history store
+	set   *cache.SampledSet[*objHist]
+	ll    *list.List // LRU order of resident objects (fallback phase)
+	now   int64
+	start int64
+	begun bool
+
+	window *window
+	drift  *driftDetector
+
+	// Scratch buffers reused across evictions.
+	scrIdx  []int
+	scrMix  []nn.Mixture
+	scrCum  [][]float64
+	scrWins []int
+	scrKeys []cache.Key
+	scrSize []int64
+	scrPred *nn.PredictScratch
+
+	// TrainStats records every completed training run (Table 7 and the
+	// overhead discussion of §6.1.1).
+	TrainStats []TrainRecord
+}
+
+// TrainRecord captures one training window's dataset and outcome.
+type TrainRecord struct {
+	WindowEnd int64
+	Objects   int
+	Samples   int // total loss terms (interarrival + survival)
+	// Skipped marks windows whose retraining was elided by drift
+	// detection (Config.DriftThreshold).
+	Skipped bool
+	Result  nn.TrainResult
+}
+
+// New returns a Raven policy. cfg.TrainWindow must be positive.
+func New(cfg Config) *Raven {
+	cfg.defaults()
+	if cfg.TrainWindow <= 0 {
+		panic("core: Config.TrainWindow must be positive")
+	}
+	r := &Raven{
+		cfg:   cfg,
+		rng:   stats.NewRNG(cfg.Seed),
+		hists: make(map[cache.Key]*objHist, 4096),
+		set:   cache.NewSampledSet[*objHist](),
+		ll:    list.New(),
+	}
+	r.window = newWindow(cfg.SampleBudgetBytes, cfg.MaxTrainObjects, cfg.Train.MaxSeq, stats.NewRNG(cfg.Seed+3))
+	if cfg.DriftThreshold > 0 {
+		r.drift = newDriftDetector(cfg.DriftThreshold, 0)
+	}
+	return r
+}
+
+// Name implements cache.Policy.
+func (r *Raven) Name() string {
+	if r.cfg.Goal == GoalOHR {
+		return "raven-ohr"
+	}
+	return "raven"
+}
+
+// MetadataBytesPerObject implements cache.Footprinter: the per-cached-
+// object state Raven keeps for inference — the recurrent state
+// (float64s), last-access time, size, and the interarrival ring used
+// to re-embed after model swaps (§6.1.1).
+func (r *Raven) MetadataBytesPerObject() int64 {
+	state := int64(r.cfg.Net.Hidden)
+	if r.net != nil {
+		state = int64(r.net.StateSize())
+	}
+	return 8*state + 8 + 8 + 8*int64(r.cfg.HistoryLen)
+}
+
+// Trained reports whether at least one model has been fit.
+func (r *Raven) Trained() bool { return r.net != nil }
+
+// Net returns the current model (nil before the first training).
+func (r *Raven) Net() *nn.Net { return r.net }
+
+// observe advances virtual time, maintains the object's history and
+// embedding, collects training data, and retrains at window
+// boundaries. It runs once per request (hit or miss).
+func (r *Raven) observe(req cache.Request) {
+	if !r.begun {
+		r.begun = true
+		r.start = req.Time
+		r.window.reset(req.Time)
+	}
+	r.now = req.Time
+	r.window.record(req)
+
+	h, ok := r.hists[req.Key]
+	if !ok {
+		h = &objHist{lastSeen: req.Time, size: req.Size, embVersion: -1}
+		r.hists[req.Key] = h
+		r.maybeGC()
+	} else {
+		tau := float64(req.Time - h.lastSeen)
+		if tau < 1 {
+			tau = 1
+		}
+		if r.drift != nil {
+			r.drift.observe(tau)
+		}
+		pushHist(&h.hist, tau, r.cfg.HistoryLen)
+		if r.net != nil && h.embVersion == r.net.Version {
+			r.net.StepEmbed(h.emb, tau)
+		}
+		h.lastSeen = req.Time
+		h.size = req.Size
+	}
+
+	if req.Time-r.window.start >= r.cfg.TrainWindow {
+		r.train()
+		r.window.reset(req.Time)
+	}
+}
+
+// maybeGC bounds the global history store: non-resident objects not
+// seen for two training windows are dropped.
+func (r *Raven) maybeGC() {
+	if len(r.hists) < 8*r.set.Len()+200000 {
+		return
+	}
+	horizon := r.now - 2*r.cfg.TrainWindow
+	for k, h := range r.hists {
+		if h.elem == nil && h.lastSeen < horizon {
+			delete(r.hists, k)
+		}
+	}
+}
+
+// train fits the MDN on the just-finished window (§4.4), unless drift
+// detection decides the previous model still matches the workload.
+func (r *Raven) train() {
+	data, terms := r.window.sequences(r.now)
+	if len(data) == 0 {
+		return
+	}
+	retrain := true
+	if r.drift != nil {
+		// Always close the drift window so consecutive windows are
+		// compared pairwise, even before the first model exists.
+		retrain = r.drift.shouldRetrain()
+	}
+	if r.net != nil && !retrain {
+		r.TrainStats = append(r.TrainStats, TrainRecord{
+			WindowEnd: r.now,
+			Objects:   len(data),
+			Samples:   terms,
+			Skipped:   true,
+		})
+		return
+	}
+	if r.net == nil || r.cfg.ColdStart {
+		cfg := r.cfg.Net
+		if cfg.TimeScale == 0 {
+			cfg.TimeScale = meanTau(data, float64(r.cfg.TrainWindow)/1000)
+		}
+		old := r.net
+		r.net = nn.NewNet(cfg)
+		if old != nil {
+			r.net.Version = old.Version
+		}
+		r.scrPred = nil
+	}
+	tc := r.cfg.Train
+	tc.Seed += int64(len(r.TrainStats)) // vary shuffles between windows
+	res := r.net.Fit(data, tc)
+	r.TrainStats = append(r.TrainStats, TrainRecord{
+		WindowEnd: r.now,
+		Objects:   len(data),
+		Samples:   terms,
+		Result:    res,
+	})
+}
+
+func meanTau(data []nn.Sequence, fallback float64) float64 {
+	s, n := 0.0, 0
+	for i := range data {
+		for _, t := range data[i].Taus {
+			s += t
+			n++
+		}
+	}
+	if n == 0 || s <= 0 {
+		if fallback <= 0 {
+			fallback = 1
+		}
+		return fallback
+	}
+	return s / float64(n)
+}
+
+// OnHit implements cache.Policy.
+func (r *Raven) OnHit(req cache.Request) {
+	r.observe(req)
+	if h, ok := r.hists[req.Key]; ok && h.elem != nil {
+		r.ll.MoveToFront(h.elem)
+	}
+}
+
+// OnMiss implements cache.Policy.
+func (r *Raven) OnMiss(req cache.Request) { r.observe(req) }
+
+// OnAdmit implements cache.Policy.
+func (r *Raven) OnAdmit(req cache.Request) {
+	h := r.hists[req.Key] // created by the preceding OnMiss
+	h.elem = r.ll.PushFront(req.Key)
+	r.set.Add(req.Key, h)
+}
+
+// OnEvict implements cache.Policy. The object's history survives
+// eviction; only residency state is dropped.
+func (r *Raven) OnEvict(key cache.Key) {
+	if h, ok := r.set.Get(key); ok {
+		r.ll.Remove(h.elem)
+		h.elem = nil
+		r.set.Remove(key)
+	}
+}
+
+// Victim implements cache.Policy: the §4.4 eviction rule. Before the
+// first model is trained it falls back to LRU.
+func (r *Raven) Victim() (cache.Key, bool) {
+	if r.set.Len() == 0 {
+		return 0, false
+	}
+	if r.net == nil {
+		return r.ll.Back().Value.(cache.Key), true
+	}
+	r.prepareCandidates()
+	n := len(r.scrKeys)
+	if n == 1 {
+		return r.scrKeys[0], true
+	}
+	var scores []float64
+	if r.cfg.ExactPriority {
+		scores = PriorityScoresExact(r.scrMix, 256)
+	} else {
+		wins := r.scoreCandidates()
+		scores = make([]float64, n)
+		for j := range wins {
+			scores[j] = float64(wins[j]) / float64(r.cfg.ResidualSamples)
+		}
+	}
+	// Pick the highest priority score, weighted by size for OHR.
+	best := -1.0
+	victim := r.scrKeys[0]
+	for j := 0; j < n; j++ {
+		score := scores[j]
+		if r.cfg.Goal == GoalOHR {
+			score *= float64(r.scrSize[j])
+		}
+		if score > best {
+			best = score
+			victim = r.scrKeys[j]
+		}
+	}
+	return victim, true
+}
+
+// prepareCandidates samples eviction candidates and computes their
+// residual-time mixtures, refreshing stale embeddings.
+func (r *Raven) prepareCandidates() {
+	r.scrIdx = r.set.Sample(r.rng, r.cfg.CandidateSample, r.scrIdx)
+	n := len(r.scrIdx)
+	if cap(r.scrMix) < n {
+		r.scrMix = make([]nn.Mixture, n)
+		r.scrCum = make([][]float64, n)
+		r.scrWins = make([]int, n)
+	}
+	r.scrMix = r.scrMix[:n]
+	r.scrCum = r.scrCum[:n]
+	r.scrWins = r.scrWins[:n]
+	r.scrKeys = r.scrKeys[:0]
+	r.scrSize = r.scrSize[:0]
+	if r.scrPred == nil {
+		r.scrPred = r.net.NewPredictScratch()
+	}
+	for j, i := range r.scrIdx {
+		k, hp := r.set.At(i)
+		h := *hp
+		if h.embVersion != r.net.Version {
+			h.emb = r.net.EmbedHistoryInto(h.emb, h.hist)
+			h.embVersion = r.net.Version
+		}
+		age := float64(r.now - h.lastSeen)
+		r.net.PredictWith(r.scrPred, h.emb, float64(h.size), age, &r.scrMix[j])
+		r.scrKeys = append(r.scrKeys, k)
+		r.scrSize = append(r.scrSize, h.size)
+	}
+}
+
+// scoreCandidates estimates each candidate's priority score (Eq. 1c)
+// by drawing ResidualSamples per candidate and counting, per draw
+// index, which candidate's residual sample is largest.
+func (r *Raven) scoreCandidates() []int {
+	n := len(r.scrKeys)
+	for j := 0; j < n; j++ {
+		r.scrWins[j] = 0
+		r.scrCum[j] = cumWeights(r.scrMix[j].W, r.scrCum[j])
+	}
+	for m := 0; m < r.cfg.ResidualSamples; m++ {
+		bestJ := 0
+		bestR := math.Inf(-1)
+		for j := 0; j < n; j++ {
+			rv := sampleLogResidual(&r.scrMix[j], r.scrCum[j], r.rng)
+			if rv > bestR {
+				bestR = rv
+				bestJ = j
+			}
+		}
+		r.scrWins[bestJ]++
+	}
+	return r.scrWins
+}
+
+func cumWeights(w []float64, dst []float64) []float64 {
+	dst = dst[:0]
+	acc := 0.0
+	for _, wi := range w {
+		acc += wi
+		dst = append(dst, acc)
+	}
+	return dst
+}
+
+// sampleLogResidual draws the LOG of a residual-time sample from the
+// mixture. Since log is monotone, comparing log-samples across
+// candidates gives the same argmax as comparing the samples
+// themselves, and skipping the exp saves ~30% of eviction time.
+func sampleLogResidual(m *nn.Mixture, cum []float64, g *stats.RNG) float64 {
+	u := g.Float64()
+	k := len(cum) - 1
+	for i, c := range cum {
+		if u <= c {
+			k = i
+			break
+		}
+	}
+	return m.Mu[k] + m.S[k]*g.NormFloat64()
+}
+
+// pushHist appends tau to a bounded ring kept as a slice.
+func pushHist(h *[]float64, tau float64, max int) {
+	s := *h
+	if len(s) == max {
+		copy(s, s[1:])
+		s[len(s)-1] = tau
+		return
+	}
+	*h = append(s, tau)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"raven/internal/cache"
+	"raven/internal/nn"
+	"raven/internal/stats"
+)
+
+// window collects training data over one training window (§4.1):
+// uniformly sampled objects (never biased towards popular ones) whose
+// arrival times are recorded until the window ends. The sample stops
+// admitting new objects once its unique bytes exceed the budget
+// (the paper caps it at 5× the cache size) or the object cap is hit.
+type window struct {
+	start       int64
+	budgetBytes int64
+	maxObjects  int
+	maxSeq      int
+	rng         *stats.RNG
+
+	sampledBytes int64
+	taus         map[cache.Key][]float64
+	last         map[cache.Key]int64
+	sizes        map[cache.Key]int64
+	rejected     map[cache.Key]struct{}
+	// sampleProb adapts downward as the budget fills so the sample
+	// stays uniform-ish across the window rather than front-loaded.
+	sampleProb float64
+}
+
+func newWindow(budgetBytes int64, maxObjects, maxSeq int, rng *stats.RNG) *window {
+	w := &window{
+		budgetBytes: budgetBytes,
+		maxObjects:  maxObjects,
+		maxSeq:      maxSeq,
+		rng:         rng,
+	}
+	w.reset(0)
+	return w
+}
+
+func (w *window) reset(start int64) {
+	w.start = start
+	w.sampledBytes = 0
+	w.taus = make(map[cache.Key][]float64, 1024)
+	w.last = make(map[cache.Key]int64, 1024)
+	w.sizes = make(map[cache.Key]int64, 1024)
+	w.rejected = make(map[cache.Key]struct{}, 1024)
+	w.sampleProb = 1
+}
+
+// record observes one request.
+func (w *window) record(req cache.Request) {
+	if lt, ok := w.last[req.Key]; ok {
+		tau := float64(req.Time - lt)
+		if tau < 1 {
+			tau = 1
+		}
+		seq := w.taus[req.Key]
+		if w.maxSeq > 0 && len(seq) >= 2*w.maxSeq {
+			// Keep the most recent interarrivals only.
+			copy(seq, seq[1:])
+			seq[len(seq)-1] = tau
+		} else {
+			seq = append(seq, tau)
+		}
+		w.taus[req.Key] = seq
+		w.last[req.Key] = req.Time
+		return
+	}
+	if _, ok := w.rejected[req.Key]; ok {
+		return
+	}
+	full := (w.budgetBytes > 0 && w.sampledBytes >= w.budgetBytes) ||
+		(w.maxObjects > 0 && len(w.last) >= w.maxObjects)
+	if full || w.rng.Float64() >= w.sampleProb {
+		w.rejected[req.Key] = struct{}{}
+		return
+	}
+	w.last[req.Key] = req.Time
+	w.sizes[req.Key] = req.Size
+	w.sampledBytes += req.Size
+	// Tighten the sampling probability as capacity fills.
+	if w.budgetBytes > 0 {
+		frac := float64(w.sampledBytes) / float64(w.budgetBytes)
+		if frac > 0.5 {
+			w.sampleProb = 1 - (frac-0.5)*1.6 // → 0.2 at full budget
+			if w.sampleProb < 0.05 {
+				w.sampleProb = 0.05
+			}
+		}
+	}
+}
+
+// sequences converts the window into training sequences, attaching
+// each object's survival interval up to windowEnd. It returns the
+// sequences and the total number of loss terms. Keys are visited in
+// sorted order so training (and therefore the whole policy) is
+// deterministic regardless of map iteration order.
+func (w *window) sequences(windowEnd int64) ([]nn.Sequence, int) {
+	keys := make([]cache.Key, 0, len(w.last))
+	for k := range w.last {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]nn.Sequence, 0, len(w.last))
+	terms := 0
+	for _, k := range keys {
+		lt := w.last[k]
+		seq := nn.Sequence{
+			Taus:     w.taus[k],
+			Size:     float64(w.sizes[k]),
+			Survival: float64(windowEnd - lt),
+		}
+		if len(seq.Taus) == 0 && seq.Survival <= 0 {
+			continue
+		}
+		terms += len(seq.Taus)
+		if seq.Survival > 0 {
+			terms++
+		}
+		out = append(out, seq)
+	}
+	return out, terms
+}
+
+// Counts returns how many objects and loss samples the current window
+// holds (Table 7 reporting).
+func (w *window) Counts() (objects, samples int) {
+	objects = len(w.last)
+	for _, t := range w.taus {
+		samples += len(t)
+	}
+	return objects, samples + objects // + survival terms
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"raven/internal/core"
+	"raven/internal/nn"
+	"raven/internal/policy"
+	"raven/internal/sim"
+	"raven/internal/trace"
+)
+
+// Table5 reproduces Table 5 / Appendix B: competitive ratios and miss
+// ratios of LRU, PredictiveMarker and Raven on the Citi-Bike-like
+// station streams. Per the paper, the first 60% of each monthly trace
+// is training/warmup and the remainder is evaluated; the competitive
+// ratio divides each policy's misses by Belady's on the same segment.
+func (r *Runner) Table5() *Report {
+	rep := &Report{ID: "tab5", Title: "Citi-like dataset: competitive ratio & miss ratio (Table 5)"}
+	rep.Header = []string{"policy", "competitiveRatio", "avgMissRatio"}
+
+	months := 12
+	reqs := 25000
+	if r.Cfg.Quick {
+		months, reqs = 3, 6000
+	}
+	traces := trace.CitiTraces(trace.CitiConfig{
+		Months: months, Requests: reqs, Seed: r.Cfg.Seed + 9,
+	})
+	const capacity = 100
+	const warm = 0.6
+
+	pols := []string{"lru", "marker", "predictivemarker", "raven"}
+	missSum := make(map[string]float64)
+	ratioSum := make(map[string]float64)
+	for _, t := range traces {
+		t.AnnotateNext()
+		opts := sim.Options{Capacity: capacity, WarmupFrac: warm, Seed: r.Cfg.Seed}
+		belady := sim.Run(t, policy.MustNew("belady", policy.Options{Capacity: capacity}), opts)
+		beladyMisses := float64(belady.Stats.Requests - belady.Stats.Hits)
+		for _, name := range pols {
+			var res *sim.Result
+			if name == "raven" {
+				rc := core.Config{TrainWindow: t.Duration() / 4, Seed: r.Cfg.Seed + 31}
+				if r.Cfg.Quick {
+					rc.Net = nn.Config{Hidden: 8, MLPHidden: 12, K: 4}
+					rc.Train = nn.TrainConfig{MaxEpochs: 6, Patience: 2}
+					rc.ResidualSamples = 30
+				} else {
+					rc.Train = nn.TrainConfig{MaxEpochs: 20, Patience: 4}
+				}
+				res = sim.Run(t, core.New(rc), opts)
+			} else {
+				res = sim.Run(t, policy.MustNew(name, policy.Options{Capacity: capacity, Seed: r.Cfg.Seed}), opts)
+			}
+			misses := float64(res.Stats.Requests - res.Stats.Hits)
+			missSum[name] += 1 - res.OHR
+			if beladyMisses > 0 {
+				ratioSum[name] += misses / beladyMisses
+			}
+		}
+		r.logf("  tab5 %s done", t.Name)
+	}
+	n := float64(len(traces))
+	for _, name := range pols {
+		rep.Add(name, fmt.Sprintf("%.3f", ratioSum[name]/n), fmt.Sprintf("%.3f", missSum[name]/n))
+	}
+	return rep
+}

@@ -1,0 +1,336 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Each
+// experiment is a method on Runner returning a Report — a printable,
+// CSV-able table of the same rows/series the paper plots. Runs are
+// memoized inside a Runner so experiments that share simulations
+// (Fig. 9 / Fig. 10 / Table 2 / Table 8) pay for them once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"raven/internal/core"
+	"raven/internal/nn"
+	"raven/internal/policy"
+	"raven/internal/sim"
+	"raven/internal/trace"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Quick shrinks every workload and Raven's training effort so the
+	// whole suite runs in roughly a minute (CI / go test -bench).
+	Quick bool
+	// Scale multiplies workload sizes (1.0 = default laptop scale used
+	// for EXPERIMENTS.md; ignored when Quick).
+	Scale float64
+	// Seed drives all generators and policies.
+	Seed int64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c *Config) defaults() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	Took   time.Duration
+}
+
+// Add appends a row, formatting each cell with %v.
+func (r *Report) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s (took %v)\n", r.ID, r.Title, r.Took.Round(time.Millisecond))
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			} else {
+				fmt.Fprint(w, c, "  ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the report as comma-separated values.
+func (r *Report) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(r.Header, ","))
+	for _, row := range r.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Runner executes experiments with memoized traces and simulation
+// results.
+type Runner struct {
+	Cfg Config
+
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	results map[string]*sim.Result
+}
+
+// NewRunner creates a Runner.
+func NewRunner(cfg Config) *Runner {
+	cfg.defaults()
+	return &Runner{
+		Cfg:     cfg,
+		traces:  make(map[string]*trace.Trace),
+		results: make(map[string]*sim.Result),
+	}
+}
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Cfg.Log != nil {
+		fmt.Fprintf(r.Cfg.Log, format+"\n", args...)
+	}
+}
+
+// --- workload construction -------------------------------------------------
+
+func (r *Runner) synthRequests() int {
+	if r.Cfg.Quick {
+		return 30000
+	}
+	return int(200000 * r.Cfg.Scale)
+}
+
+// synthetic returns the memoized §3.5 trace for one interarrival law.
+func (r *Runner) synthetic(d trace.Interarrival, variable bool) *trace.Trace {
+	key := fmt.Sprintf("synth/%s/var=%v", d, variable)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.traces[key]; ok {
+		return t
+	}
+	t := trace.Synthetic(trace.SynthConfig{
+		Objects:       1000,
+		Requests:      r.synthRequests(),
+		Interarrival:  d,
+		VariableSizes: variable,
+		Seed:          r.Cfg.Seed + int64(d)*131,
+	})
+	t.AnnotateNext()
+	r.traces[key] = t
+	return t
+}
+
+// production returns the memoized production-like trace of a preset.
+func (r *Runner) production(p trace.ProductionPreset) *trace.Trace {
+	key := "prod/" + string(p)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.traces[key]; ok {
+		return t
+	}
+	scale := 0.5 * r.Cfg.Scale
+	if r.Cfg.Quick {
+		scale = 0.05
+	}
+	r.logf("generating %s trace (scale %.2f)...", p, scale)
+	t := trace.ProductionTrace(p, scale, r.Cfg.Seed)
+	t.AnnotateNext()
+	r.traces[key] = t
+	return t
+}
+
+// capFor returns a cache capacity as a fraction of a trace's unique
+// bytes, clamped to hold at least a handful of mean-size objects.
+func capFor(t *trace.Trace, frac float64) int64 {
+	c := int64(float64(t.UniqueBytes()) * frac)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// prodWarmup is the warmup fraction excluded from production-trace
+// statistics (the paper tunes on the first 20% of each trace).
+const prodWarmup = 0.3
+
+// synthWarmup matches Appendix C.1: train on the first half, evaluate
+// on the second half.
+const synthWarmup = 0.5
+
+// --- policy construction ----------------------------------------------------
+
+// polOpts builds policy.Options for a trace/capacity pair, scaling
+// Raven's training effort to the suite mode.
+func (r *Runner) polOpts(t *trace.Trace, capacity int64) policy.Options {
+	o := policy.Options{
+		Capacity:    capacity,
+		TrainWindow: t.Duration() / 8,
+		Seed:        r.Cfg.Seed,
+	}
+	rc := core.Config{}
+	if r.Cfg.Quick {
+		rc.Net = nn.Config{Hidden: 8, MLPHidden: 12, K: 4}
+		rc.Train = nn.TrainConfig{MaxEpochs: 6, Patience: 2}
+		rc.MaxTrainObjects = 600
+		rc.ResidualSamples = 30
+	} else {
+		rc.Train = nn.TrainConfig{MaxEpochs: 25, Patience: 5}
+	}
+	o.Raven = &rc
+	return o
+}
+
+// run executes (trace, policy, capacity) once, memoized.
+func (r *Runner) run(t *trace.Trace, polName string, capacity int64, opts sim.Options) *sim.Result {
+	netKey := "none"
+	if opts.Net != nil {
+		netKey = fmt.Sprint(int(opts.Net.Kind))
+	}
+	key := fmt.Sprintf("%s|%s|%d|net=%s|rank=%d|warm=%.2f|curve=%d",
+		t.Name, polName, capacity, netKey, opts.RankOrderEvery, opts.WarmupFrac, opts.CurvePoints)
+	r.mu.Lock()
+	if res, ok := r.results[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	opts.Capacity = capacity
+	opts.Seed = r.Cfg.Seed
+	p := policy.MustNew(polName, r.polOpts(t, capacity))
+	start := time.Now()
+	res := sim.Run(t, p, opts)
+	r.logf("  ran %-18s on %-12s C=%-12d OHR=%.4f BHR=%.4f (%v)",
+		polName, t.Name, capacity, res.OHR, res.BHR, time.Since(start).Round(time.Millisecond))
+
+	r.mu.Lock()
+	r.results[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+// netFor returns the §5.1.4 model matching a preset.
+func netFor(p trace.ProductionPreset) *sim.NetModel {
+	if p.IsCDN() {
+		return sim.CDNModel()
+	}
+	return sim.InMemoryModel()
+}
+
+// --- registry ----------------------------------------------------------------
+
+// All lists every experiment ID in paper order.
+var All = []string{
+	"fig2a", "fig2bc", "fig3", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "tab2", "fig11", "fig12", "tab3", "tab4",
+	"tab5", "tab6", "tab7", "tab8",
+	"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"fig19", "fig20", "fig21", "ablations", "overhead",
+}
+
+// Run executes one experiment by ID.
+func (r *Runner) Run(id string) (*Report, error) {
+	fns := map[string]func() *Report{
+		"fig2a":     r.Fig2a,
+		"fig2bc":    r.Fig2bc,
+		"fig3":      r.Fig3,
+		"fig5":      r.Fig5,
+		"fig6":      r.Fig6,
+		"fig7":      r.Fig7,
+		"fig8":      r.Fig8,
+		"fig9":      r.Fig9,
+		"fig10":     r.Fig10,
+		"tab2":      r.Table2,
+		"fig11":     r.Fig11,
+		"fig12":     r.Fig12,
+		"tab3":      r.Table3,
+		"tab4":      r.Table4,
+		"tab5":      r.Table5,
+		"tab6":      r.Table6,
+		"tab7":      r.Table7,
+		"tab8":      r.Table8,
+		"fig13":     r.Fig13,
+		"fig14":     r.Fig14,
+		"fig15":     r.Fig15,
+		"fig16":     r.Fig16,
+		"fig17":     r.Fig17,
+		"fig18":     r.Fig18,
+		"fig19":     r.Fig19,
+		"fig20":     r.Fig20,
+		"fig21":     r.Fig21,
+		"ablations": r.Ablations,
+		"overhead":  r.Overhead,
+	}
+	fn, ok := fns[id]
+	if !ok {
+		known := make([]string, 0, len(fns))
+		for k := range fns {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+	start := time.Now()
+	rep := fn()
+	rep.Took = time.Since(start)
+	return rep, nil
+}
+
+// fmtPct formats a ratio as a percentage string.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// bestOf returns the result with the highest metric.
+func bestOf(rs []*sim.Result, metric func(*sim.Result) float64) *sim.Result {
+	var best *sim.Result
+	for _, r := range rs {
+		if best == nil || metric(r) > metric(best) {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"raven/internal/sim"
+	"raven/internal/trace"
+)
+
+func TestGapClosed(t *testing.T) {
+	cases := []struct {
+		sota, raven, opt, want float64
+	}{
+		{0.5, 0.6, 0.7, 0.5},  // halfway to optimal
+		{0.5, 0.7, 0.7, 1.0},  // reaches optimal
+		{0.5, 0.4, 0.7, -0.5}, // below SOTA
+		{0.5, 0.6, 0.5, 0},    // degenerate: optimal <= SOTA
+	}
+	for _, c := range cases {
+		if got := gapClosed(c.sota, c.raven, c.opt); got != c.want {
+			t.Errorf("gapClosed(%v,%v,%v) = %v, want %v", c.sota, c.raven, c.opt, got, c.want)
+		}
+	}
+}
+
+func TestCapFor(t *testing.T) {
+	tr := &trace.Trace{Reqs: []trace.Request{
+		{Time: 1, Key: 1, Size: 1000},
+		{Time: 2, Key: 2, Size: 1000},
+	}}
+	if got := capFor(tr, 0.5); got != 1000 {
+		t.Errorf("capFor 50%% of 2000 = %d, want 1000", got)
+	}
+	if got := capFor(tr, 0.000001); got != 64 {
+		t.Errorf("tiny fraction should clamp to 64, got %d", got)
+	}
+}
+
+func TestNetFor(t *testing.T) {
+	if netFor(trace.Wiki18).Kind != sim.CDN {
+		t.Error("wiki presets should use the CDN model")
+	}
+	if netFor(trace.TwitterC29).Kind != sim.InMemory {
+		t.Error("twitter presets should use the in-memory model")
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if got := fmtPct(0.123); got != "12.3%" {
+		t.Errorf("fmtPct = %q", got)
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	rs := []*sim.Result{{OHR: 0.1}, {OHR: 0.5}, {OHR: 0.3}}
+	if b := bestOf(rs, func(r *sim.Result) float64 { return r.OHR }); b.OHR != 0.5 {
+		t.Errorf("bestOf picked %v", b.OHR)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"raven/internal/cache"
+	"raven/internal/core"
+	"raven/internal/nn"
+	"raven/internal/sim"
+	"raven/internal/trace"
+)
+
+// Overhead reproduces the §6.1.1 discussion as a table: per-object
+// metadata footprint, mean per-eviction decision time, and model
+// training counts/time for the three learning policies plus LRU.
+func (r *Runner) Overhead() *Report {
+	rep := &Report{ID: "overhead", Title: "Learning-policy overhead (§6.1.1)"}
+	rep.Header = []string{"policy", "metadataB/obj", "evict_us", "trainings", "trainWall"}
+	t := r.synthetic(trace.Uniform, false)
+
+	for _, name := range []string{"lru", "lhr", "lrb", "raven"} {
+		res := r.run(t, name, synthUnitCapacity, sim.Options{
+			WarmupFrac: synthWarmup, RankOrderEvery: 10, // share fig2a runs
+		})
+		meta := int64(0)
+		if fp, ok := res.PolicyState.(cache.Footprinter); ok {
+			meta = fp.MetadataBytesPerObject()
+		}
+		trainings := "-"
+		trainWall := "-"
+		switch p := res.PolicyState.(type) {
+		case *core.Raven:
+			n, skipped := 0, 0
+			for _, ts := range p.TrainStats {
+				if ts.Skipped {
+					skipped++
+				} else {
+					n++
+				}
+			}
+			trainings = fmt.Sprintf("%d (%d skipped)", n, skipped)
+			trainWall = "see trainings"
+		case interface{ TrainedCount() int }:
+			trainings = fmt.Sprint(p.TrainedCount())
+		}
+		rep.Add(name, meta, fmt.Sprintf("%.1f", res.EvictionNanos.Mean/1e3), trainings, trainWall)
+	}
+	rep.Notes = append(rep.Notes,
+		"the paper reports 136/72 B metadata for Raven, 176 B LRB, 84 B LHR; eviction ~3 µs LRB, ~6 µs LHR, ~50 µs Raven",
+		"our float64 CPU substrate doubles metadata widths; orderings match")
+	return rep
+}
+
+// sruAblation compares GRU and SRU history encoders on training time
+// and hit ratio — the paper's §6.1.1 claim that SRU cuts ~28% of
+// training time without hurting performance.
+func (r *Runner) sruAblation(rep *Report, t *trace.Trace) {
+	for _, kind := range []nn.RNNKind{nn.GRUCell, nn.SRUCell, nn.LSTMCell, nn.VanillaCell} {
+		cfg := core.Config{
+			TrainWindow: t.Duration() / 8,
+			Net:         nn.Config{RNN: kind},
+			Seed:        r.Cfg.Seed,
+		}
+		if r.Cfg.Quick {
+			cfg.Net.Hidden, cfg.Net.MLPHidden, cfg.Net.K = 8, 12, 4
+			cfg.Train = nn.TrainConfig{MaxEpochs: 6, Patience: 2}
+			cfg.MaxTrainObjects = 600
+			cfg.ResidualSamples = 30
+		} else {
+			cfg.Train = nn.TrainConfig{MaxEpochs: 25, Patience: 5}
+		}
+		p := core.New(cfg)
+		start := time.Now()
+		res := sim.Run(t, p, sim.Options{
+			Capacity: synthUnitCapacity, WarmupFrac: synthWarmup, Seed: r.Cfg.Seed,
+		})
+		r.logf("  ablation rnn=%s OHR=%.4f (%v)", kind, res.OHR, time.Since(start).Round(time.Millisecond))
+		rep.Add("rnnUnit", kind.String(), res.OHR, res.EvictionNanos.Mean/1e3)
+	}
+}
+
+// driftAblation measures the retraining-skip optimization.
+func (r *Runner) driftAblation(rep *Report, t *trace.Trace) {
+	for _, th := range []float64{0, 0.05, 0.15} {
+		cfg := core.Config{
+			TrainWindow:    t.Duration() / 8,
+			DriftThreshold: th,
+			Seed:           r.Cfg.Seed,
+		}
+		if r.Cfg.Quick {
+			cfg.Net = nn.Config{Hidden: 8, MLPHidden: 12, K: 4}
+			cfg.Train = nn.TrainConfig{MaxEpochs: 6, Patience: 2}
+			cfg.MaxTrainObjects = 600
+			cfg.ResidualSamples = 30
+		} else {
+			cfg.Train = nn.TrainConfig{MaxEpochs: 25, Patience: 5}
+		}
+		p := core.New(cfg)
+		res := sim.Run(t, p, sim.Options{
+			Capacity: synthUnitCapacity, WarmupFrac: synthWarmup, Seed: r.Cfg.Seed,
+		})
+		trained, skipped := 0, 0
+		for _, ts := range p.TrainStats {
+			if ts.Skipped {
+				skipped++
+			} else {
+				trained++
+			}
+		}
+		r.logf("  ablation drift=%.2f OHR=%.4f trained=%d skipped=%d", th, res.OHR, trained, skipped)
+		rep.Add("driftThreshold", fmt.Sprintf("%.2f (%dT/%dS)", th, trained, skipped),
+			res.OHR, res.EvictionNanos.Mean/1e3)
+	}
+}

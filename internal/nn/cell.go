@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"raven/internal/stats"
+)
+
+// Cell is a recurrent unit used as Raven's history encoder. The paper
+// (§4.2.1) leaves the unit configurable — "vanilla RNN, or LSTM, or
+// GRU" — and §6.1.1 proposes SRU as a cheaper drop-in; this interface
+// hosts all four.
+//
+// A cell's recurrent state is a flat vector of StateSize() float64s
+// whose first OutputSize() entries are the history embedding consumed
+// by the MLP (for LSTM this is h with the cell state c carried
+// behind it; for GRU and vanilla RNN state and output coincide).
+type Cell interface {
+	// Params returns the learnable tensors.
+	Params() []*Param
+	// StateSize is the full recurrent state length.
+	StateSize() int
+	// OutputSize is the embedding prefix length.
+	OutputSize() int
+	// Step advances prev to out given input x, recording activations
+	// in cache when non-nil (out may alias prev).
+	Step(x []float64, prev []float64, cache *CellCache, out []float64)
+	// Backward consumes dNext (gradient w.r.t. this step's output
+	// state, length StateSize) and the step's cache, accumulates
+	// parameter gradients, and writes the gradient w.r.t. the previous
+	// state into dPrev (overwritten).
+	Backward(cache *CellCache, dNext, dPrev []float64)
+	// NewCache allocates a step cache.
+	NewCache() *CellCache
+}
+
+// CellCache stores one step's activations; its slices are interpreted
+// by the owning cell.
+type CellCache struct {
+	X    []float64
+	Prev []float64
+	Bufs [][]float64
+}
+
+func newCellCache(in, state int, bufs ...int) *CellCache {
+	c := &CellCache{
+		X:    make([]float64, in),
+		Prev: make([]float64, state),
+		Bufs: make([][]float64, len(bufs)),
+	}
+	for i, n := range bufs {
+		c.Bufs[i] = make([]float64, n)
+	}
+	return c
+}
+
+// RNNKind selects the recurrent unit.
+type RNNKind int
+
+// Recurrent unit kinds.
+const (
+	// GRUCell is the paper's default (§5.1.3).
+	GRUCell RNNKind = iota
+	// VanillaCell is a plain tanh RNN.
+	VanillaCell
+	// LSTMCell is a standard LSTM.
+	LSTMCell
+	// SRUCell is the simple recurrent unit (Lei et al.), the §6.1.1
+	// training-speed optimization: its gates depend only on the input,
+	// removing the hidden-to-hidden matrix products.
+	SRUCell
+)
+
+// String returns the kind name.
+func (k RNNKind) String() string {
+	switch k {
+	case GRUCell:
+		return "gru"
+	case VanillaCell:
+		return "rnn"
+	case LSTMCell:
+		return "lstm"
+	case SRUCell:
+		return "sru"
+	default:
+		return fmt.Sprintf("rnnkind(%d)", int(k))
+	}
+}
+
+// NewCell constructs a cell of the given kind.
+func NewCell(kind RNNKind, name string, in, hidden int, g *stats.RNG) Cell {
+	switch kind {
+	case GRUCell:
+		return NewGRU(name, in, hidden, g)
+	case VanillaCell:
+		return NewVanilla(name, in, hidden, g)
+	case LSTMCell:
+		return NewLSTM(name, in, hidden, g)
+	case SRUCell:
+		return NewSRU(name, in, hidden, g)
+	default:
+		panic(fmt.Sprintf("nn: unknown RNN kind %d", kind))
+	}
+}
+
+// Vanilla is a plain tanh recurrence h' = tanh(Wx + Uh + b).
+type Vanilla struct {
+	In, HiddenN int
+	W, U, B     *Param
+}
+
+// NewVanilla returns a vanilla RNN cell.
+func NewVanilla(name string, in, hidden int, g *stats.RNG) *Vanilla {
+	v := &Vanilla{
+		In: in, HiddenN: hidden,
+		W: newParam(name+".W", hidden*in),
+		U: newParam(name+".U", hidden*hidden),
+		B: newParam(name+".b", hidden),
+	}
+	v.W.initXavier(g, in, hidden)
+	v.U.initXavier(g, hidden, hidden)
+	return v
+}
+
+// Params implements Cell.
+func (v *Vanilla) Params() []*Param { return []*Param{v.W, v.U, v.B} }
+
+// StateSize implements Cell.
+func (v *Vanilla) StateSize() int { return v.HiddenN }
+
+// OutputSize implements Cell.
+func (v *Vanilla) OutputSize() int { return v.HiddenN }
+
+// NewCache implements Cell.
+func (v *Vanilla) NewCache() *CellCache {
+	return newCellCache(v.In, v.HiddenN, v.HiddenN) // buf0 = h'
+}
+
+// Step implements Cell.
+func (v *Vanilla) Step(x, prev []float64, cache *CellCache, out []float64) {
+	h := make([]float64, v.HiddenN)
+	matVec(v.W.W, v.HiddenN, v.In, x, v.B.W, h)
+	matVecAdd(v.U.W, v.HiddenN, prev, h)
+	for i := range h {
+		h[i] = math.Tanh(h[i])
+	}
+	if cache != nil {
+		copy(cache.X, x)
+		copy(cache.Prev, prev)
+		copy(cache.Bufs[0], h)
+	}
+	copy(out, h)
+}
+
+// Backward implements Cell.
+func (v *Vanilla) Backward(cache *CellCache, dNext, dPrev []float64) {
+	h := cache.Bufs[0]
+	da := make([]float64, v.HiddenN)
+	for i := range da {
+		da[i] = dNext[i] * (1 - h[i]*h[i])
+	}
+	outerAdd(v.W.G, v.HiddenN, v.In, da, cache.X)
+	outerAdd(v.U.G, v.HiddenN, v.HiddenN, da, cache.Prev)
+	axpy(1, da, v.B.G)
+	zero(dPrev)
+	matTVecAdd(v.U.W, v.HiddenN, v.HiddenN, da, dPrev)
+}

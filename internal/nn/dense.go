@@ -1,0 +1,60 @@
+package nn
+
+import "raven/internal/stats"
+
+// Dense is a fully connected layer y = W*x + b.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, g *stats.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   newParam(name+".W", in*out),
+		B:   newParam(name+".b", out),
+	}
+	d.W.initXavier(g, in, out)
+	return d
+}
+
+// Params returns the layer's learnable tensors.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward computes y = W*x + b. len(x) must be In; len(y) must be Out.
+func (d *Dense) Forward(x, y []float64) {
+	matVec(d.W.W, d.Out, d.In, x, d.B.W, y)
+}
+
+// Backward accumulates parameter gradients for the stored input x and
+// upstream gradient dy, and adds the input gradient into dx (which may
+// be nil when the input needs no gradient).
+func (d *Dense) Backward(x, dy, dx []float64) {
+	outerAdd(d.W.G, d.Out, d.In, dy, x)
+	axpy(1, dy, d.B.G)
+	if dx != nil {
+		matTVecAdd(d.W.W, d.Out, d.In, dy, dx)
+	}
+}
+
+// relu applies max(0, x) elementwise from x into y.
+func relu(x, y []float64) {
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		} else {
+			y[i] = 0
+		}
+	}
+}
+
+// reluBackward computes dx_i = dy_i if y_i > 0 else 0, in place on dy.
+func reluBackward(y, dy []float64) {
+	for i := range dy {
+		if y[i] <= 0 {
+			dy[i] = 0
+		}
+	}
+}

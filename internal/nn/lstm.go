@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+
+	"raven/internal/stats"
+)
+
+// LSTM is a standard long short-term memory cell:
+//
+//	i = σ(Wi x + Ui h + bi)    f = σ(Wf x + Uf h + bf)
+//	o = σ(Wo x + Uo h + bo)    g = tanh(Wg x + Ug h + bg)
+//	c' = f⊙c + i⊙g             h' = o⊙tanh(c')
+//
+// Its recurrent state is [h | c] (StateSize = 2H); the embedding the
+// MLP consumes is the h half.
+type LSTM struct {
+	In, HiddenN int
+	Wi, Ui, Bi  *Param
+	Wf, Uf, Bf  *Param
+	Wo, Uo, Bo  *Param
+	Wg, Ug, Bg  *Param
+}
+
+// NewLSTM returns an LSTM cell with Xavier weights and the customary
+// +1 forget-gate bias.
+func NewLSTM(name string, in, hidden int, g *stats.RNG) *LSTM {
+	l := &LSTM{
+		In: in, HiddenN: hidden,
+		Wi: newParam(name+".Wi", hidden*in), Ui: newParam(name+".Ui", hidden*hidden), Bi: newParam(name+".bi", hidden),
+		Wf: newParam(name+".Wf", hidden*in), Uf: newParam(name+".Uf", hidden*hidden), Bf: newParam(name+".bf", hidden),
+		Wo: newParam(name+".Wo", hidden*in), Uo: newParam(name+".Uo", hidden*hidden), Bo: newParam(name+".bo", hidden),
+		Wg: newParam(name+".Wg", hidden*in), Ug: newParam(name+".Ug", hidden*hidden), Bg: newParam(name+".bg", hidden),
+	}
+	for _, p := range []*Param{l.Wi, l.Wf, l.Wo, l.Wg} {
+		p.initXavier(g, in, hidden)
+	}
+	for _, p := range []*Param{l.Ui, l.Uf, l.Uo, l.Ug} {
+		p.initXavier(g, hidden, hidden)
+	}
+	for i := range l.Bf.W {
+		l.Bf.W[i] = 1 // encourage long memory at init
+	}
+	return l
+}
+
+// Params implements Cell.
+func (l *LSTM) Params() []*Param {
+	return []*Param{l.Wi, l.Ui, l.Bi, l.Wf, l.Uf, l.Bf, l.Wo, l.Uo, l.Bo, l.Wg, l.Ug, l.Bg}
+}
+
+// StateSize implements Cell: [h | c].
+func (l *LSTM) StateSize() int { return 2 * l.HiddenN }
+
+// OutputSize implements Cell.
+func (l *LSTM) OutputSize() int { return l.HiddenN }
+
+// Cache buffer layout: Bufs = [i, f, o, g, c', tanh(c')].
+const (
+	lstmI = iota
+	lstmF
+	lstmO
+	lstmG
+	lstmC
+	lstmTC
+)
+
+// NewCache implements Cell.
+func (l *LSTM) NewCache() *CellCache {
+	h := l.HiddenN
+	return newCellCache(l.In, 2*h, h, h, h, h, h, h)
+}
+
+// Step implements Cell. out may alias prev.
+func (l *LSTM) Step(x, prev []float64, cache *CellCache, out []float64) {
+	H := l.HiddenN
+	hPrev := prev[:H]
+	cPrev := prev[H:]
+	i := make([]float64, H)
+	f := make([]float64, H)
+	o := make([]float64, H)
+	gg := make([]float64, H)
+	c := make([]float64, H)
+	tc := make([]float64, H)
+	if cache != nil {
+		copy(cache.X, x)
+		copy(cache.Prev, prev)
+		i, f, o = cache.Bufs[lstmI], cache.Bufs[lstmF], cache.Bufs[lstmO]
+		gg, c, tc = cache.Bufs[lstmG], cache.Bufs[lstmC], cache.Bufs[lstmTC]
+	}
+	gate := func(w, u, b *Param, dst []float64, squash func(float64) float64) {
+		matVec(w.W, H, l.In, x, b.W, dst)
+		matVecAdd(u.W, H, hPrev, dst)
+		for k := range dst {
+			dst[k] = squash(dst[k])
+		}
+	}
+	gate(l.Wi, l.Ui, l.Bi, i, sigmoid)
+	gate(l.Wf, l.Uf, l.Bf, f, sigmoid)
+	gate(l.Wo, l.Uo, l.Bo, o, sigmoid)
+	gate(l.Wg, l.Ug, l.Bg, gg, math.Tanh)
+	for k := 0; k < H; k++ {
+		c[k] = f[k]*cPrev[k] + i[k]*gg[k]
+		tc[k] = math.Tanh(c[k])
+	}
+	for k := 0; k < H; k++ {
+		out[k] = o[k] * tc[k]
+		out[H+k] = c[k]
+	}
+}
+
+// Backward implements Cell.
+func (l *LSTM) Backward(cache *CellCache, dNext, dPrev []float64) {
+	H := l.HiddenN
+	i, f, o := cache.Bufs[lstmI], cache.Bufs[lstmF], cache.Bufs[lstmO]
+	gg, tc := cache.Bufs[lstmG], cache.Bufs[lstmTC]
+	hPrev := cache.Prev[:H]
+	cPrev := cache.Prev[H:]
+
+	dh := dNext[:H]
+	dcNext := dNext[H:]
+	dc := make([]float64, H)
+	dai := make([]float64, H)
+	daf := make([]float64, H)
+	dao := make([]float64, H)
+	dag := make([]float64, H)
+	for k := 0; k < H; k++ {
+		dc[k] = dcNext[k] + dh[k]*o[k]*(1-tc[k]*tc[k])
+		dao[k] = dh[k] * tc[k] * o[k] * (1 - o[k])
+		dai[k] = dc[k] * gg[k] * i[k] * (1 - i[k])
+		daf[k] = dc[k] * cPrev[k] * f[k] * (1 - f[k])
+		dag[k] = dc[k] * i[k] * (1 - gg[k]*gg[k])
+	}
+	zero(dPrev)
+	dhPrev := dPrev[:H]
+	dcPrev := dPrev[H:]
+	for k := 0; k < H; k++ {
+		dcPrev[k] = dc[k] * f[k]
+	}
+	acc := func(w, u, b *Param, da []float64) {
+		outerAdd(w.G, H, l.In, da, cache.X)
+		outerAdd(u.G, H, H, da, hPrev)
+		axpy(1, da, b.G)
+		matTVecAdd(u.W, H, H, da, dhPrev)
+	}
+	acc(l.Wi, l.Ui, l.Bi, dai)
+	acc(l.Wf, l.Uf, l.Bf, daf)
+	acc(l.Wo, l.Uo, l.Bo, dao)
+	acc(l.Wg, l.Ug, l.Bg, dag)
+}

@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"math"
+
+	"raven/internal/stats"
+)
+
+// Config parameterizes the MDN network of Fig. 4: a GRU history
+// encoder feeding a two-hidden-layer MLP whose three heads emit the
+// parameters of a K-component log-normal mixture over residual time.
+type Config struct {
+	Hidden    int     // recurrent hidden size (history embedding dimension)
+	MLPHidden int     // width of the two MLP hidden layers
+	K         int     // number of mixture components
+	TimeScale float64 // ticks per normalized time unit (≈ mean interarrival)
+	// RNN selects the recurrent unit (§4.2.1): GRU (the paper's
+	// default), vanilla RNN, LSTM, or the faster SRU (§6.1.1).
+	RNN  RNNKind
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Hidden == 0 {
+		c.Hidden = 16
+	}
+	if c.MLPHidden == 0 {
+		c.MLPHidden = 24
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+}
+
+// Net is the complete mixture density network (§4.2): residual-time
+// distribution conditional on object size, age, and arrival history.
+type Net struct {
+	Cfg Config
+	// Version increments on every completed Fit; Raven uses it to
+	// detect stale cached embeddings after a model swap.
+	Version int
+
+	cell                 Cell
+	fc1, fc2             *Dense
+	headW, headMu, headS *Dense
+	params               []*Param
+}
+
+// NewNet builds a freshly initialized network.
+func NewNet(cfg Config) *Net {
+	cfg.defaults()
+	g := stats.NewRNG(cfg.Seed)
+	n := &Net{Cfg: cfg}
+	n.cell = NewCell(cfg.RNN, cfg.RNN.String(), 1, cfg.Hidden, g)
+	in := cfg.Hidden + 2 // embedding + size + age features
+	n.fc1 = NewDense("fc1", in, cfg.MLPHidden, g)
+	n.fc2 = NewDense("fc2", cfg.MLPHidden, cfg.MLPHidden, g)
+	n.headW = NewDense("headW", cfg.MLPHidden, cfg.K, g)
+	n.headMu = NewDense("headMu", cfg.MLPHidden, cfg.K, g)
+	n.headS = NewDense("headS", cfg.MLPHidden, cfg.K, g)
+	n.params = append(n.params, n.cell.Params()...)
+	n.params = append(n.params, n.fc1.Params()...)
+	n.params = append(n.params, n.fc2.Params()...)
+	n.params = append(n.params, n.headW.Params()...)
+	n.params = append(n.params, n.headMu.Params()...)
+	n.params = append(n.params, n.headS.Params()...)
+	// Spread initial component means so the mixture starts diverse.
+	for i := 0; i < cfg.K; i++ {
+		n.headMu.B.W[i] = -2 + 4*float64(i)/float64(cfg.K)
+	}
+	return n
+}
+
+// Params returns all learnable tensors.
+func (n *Net) Params() []*Param { return n.params }
+
+// NumParams returns the total parameter count.
+func (n *Net) NumParams() int {
+	t := 0
+	for _, p := range n.params {
+		t += len(p.W)
+	}
+	return t
+}
+
+// ZeroState returns a fresh zero recurrent state. Its first
+// Cfg.Hidden entries are the history embedding; LSTM and SRU carry
+// extra cell state behind it.
+func (n *Net) ZeroState() []float64 { return make([]float64, n.cell.StateSize()) }
+
+// StateSize returns the recurrent state length (>= Cfg.Hidden).
+func (n *Net) StateSize() int { return n.cell.StateSize() }
+
+// featTau maps an interarrival time in ticks to the GRU input feature.
+func (n *Net) featTau(tau float64) float64 {
+	if tau < 0 {
+		tau = 0
+	}
+	return math.Log1p(tau / n.Cfg.TimeScale)
+}
+
+func featSize(size float64) float64 { return math.Log1p(size) / 16 }
+
+func (n *Net) featAge(age float64) float64 {
+	if age < 0 {
+		age = 0
+	}
+	return math.Log1p(age / n.Cfg.TimeScale)
+}
+
+// StepEmbed advances a history embedding in place with one observed
+// interarrival time (in ticks).
+func (n *Net) StepEmbed(h []float64, tau float64) {
+	x := [1]float64{n.featTau(tau)}
+	n.cell.Step(x[:], h, nil, h)
+}
+
+// EmbedHistory computes an embedding from scratch over a sequence of
+// interarrival times.
+func (n *Net) EmbedHistory(taus []float64) []float64 {
+	h := n.ZeroState()
+	for _, t := range taus {
+		n.StepEmbed(h, t)
+	}
+	return h
+}
+
+// mlpCache stores one prediction's activations for backprop.
+type mlpCache struct {
+	in, y1, y2     []float64
+	aW, aMu, aS    []float64
+	dAW, dAMu, dAS []float64
+}
+
+func (n *Net) newMLPCache() *mlpCache {
+	m := n.Cfg.MLPHidden
+	k := n.Cfg.K
+	return &mlpCache{
+		in: make([]float64, n.Cfg.Hidden+2), y1: make([]float64, m), y2: make([]float64, m),
+		aW: make([]float64, k), aMu: make([]float64, k), aS: make([]float64, k),
+		dAW: make([]float64, k), dAMu: make([]float64, k), dAS: make([]float64, k),
+	}
+}
+
+// forwardMLP computes head activations and the mixture for one
+// (embedding, size, age) input; c may be reused across calls.
+func (n *Net) forwardMLP(h []float64, size, age float64, c *mlpCache, out *Mixture) {
+	copy(c.in, h[:n.Cfg.Hidden])
+	c.in[n.Cfg.Hidden] = featSize(size)
+	c.in[n.Cfg.Hidden+1] = n.featAge(age)
+	n.fc1.Forward(c.in, c.y1)
+	relu(c.y1, c.y1)
+	n.fc2.Forward(c.y1, c.y2)
+	relu(c.y2, c.y2)
+	n.headW.Forward(c.y2, c.aW)
+	n.headMu.Forward(c.y2, c.aMu)
+	n.headS.Forward(c.y2, c.aS)
+	MixtureFromActivations(c.aW, c.aMu, c.aS, out)
+}
+
+// backwardMLP backpropagates the activation gradients stored in c
+// (dAW/dAMu/dAS) through the heads and MLP, accumulating parameter
+// gradients and adding the embedding gradient into dh.
+func (n *Net) backwardMLP(c *mlpCache, dh []float64) {
+	m := n.Cfg.MLPHidden
+	dy2 := make([]float64, m)
+	dy1 := make([]float64, m)
+	din := make([]float64, len(c.in))
+	// Clamp masking for the log-stddev head.
+	for i, a := range c.aS {
+		if a < logSClampLo || a > logSClampHi {
+			c.dAS[i] = 0
+		}
+	}
+	n.headW.Backward(c.y2, c.dAW, dy2)
+	n.headMu.Backward(c.y2, c.dAMu, dy2)
+	n.headS.Backward(c.y2, c.dAS, dy2)
+	reluBackward(c.y2, dy2)
+	n.fc2.Backward(c.y1, dy2, dy1)
+	reluBackward(c.y1, dy1)
+	n.fc1.Backward(c.in, dy1, din)
+	axpy(1, din[:n.Cfg.Hidden], dh)
+}
+
+// PredictScratch holds reusable buffers for repeated Predict calls on
+// the eviction hot path; create one per caller with NewPredictScratch.
+type PredictScratch struct{ c *mlpCache }
+
+// NewPredictScratch allocates prediction buffers sized for this net.
+func (n *Net) NewPredictScratch() *PredictScratch {
+	return &PredictScratch{c: n.newMLPCache()}
+}
+
+// Predict computes the residual-time mixture for an object with the
+// given history embedding, size (bytes) and age (ticks). The returned
+// mixture is over normalized time; use SampleResidual / MeanResidual
+// for tick-valued results, or scale by Cfg.TimeScale.
+func (n *Net) Predict(h []float64, size, age float64, out *Mixture) {
+	c := n.newMLPCache()
+	n.forwardMLP(h, size, age, c, out)
+}
+
+// PredictWith is Predict using caller-owned scratch buffers,
+// allocation-free after the first mixture fill.
+func (n *Net) PredictWith(s *PredictScratch, h []float64, size, age float64, out *Mixture) {
+	n.forwardMLP(h, size, age, s.c, out)
+}
+
+// StepEmbedInto advances hPrev by one interarrival into hOut (which
+// may alias hPrev), allocation-free.
+func (n *Net) StepEmbedInto(hPrev, hOut []float64, tau float64) {
+	x := [1]float64{n.featTau(tau)}
+	n.cell.Step(x[:], hPrev, nil, hOut)
+}
+
+// EmbedHistoryInto recomputes an embedding into dst (resized as
+// needed) and returns it.
+func (n *Net) EmbedHistoryInto(dst []float64, taus []float64) []float64 {
+	ss := n.cell.StateSize()
+	if cap(dst) < ss {
+		dst = make([]float64, ss)
+	}
+	dst = dst[:ss]
+	zero(dst)
+	for _, t := range taus {
+		n.StepEmbedInto(dst, dst, t)
+	}
+	return dst
+}
+
+// SampleResidual draws one residual time in ticks from a mixture
+// produced by Predict.
+func (n *Net) SampleResidual(m *Mixture, g *stats.RNG) float64 {
+	return m.Sample(g) * n.Cfg.TimeScale
+}
+
+// MeanResidual returns the mixture's mean residual time in ticks.
+func (n *Net) MeanResidual(m *Mixture) float64 {
+	return m.Mean() * n.Cfg.TimeScale
+}
+
+// SurvivalTicks returns Pr{R > v} for v in ticks.
+func (n *Net) SurvivalTicks(m *Mixture, v float64) float64 {
+	return m.Survival(v / n.Cfg.TimeScale)
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math"
+
+	"raven/internal/stats"
+)
+
+// Param is one learnable tensor: values, accumulated gradients, and
+// Adam moment estimates.
+type Param struct {
+	Name string
+	W    []float64
+	G    []float64
+	m, v []float64
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{
+		Name: name,
+		W:    make([]float64, n),
+		G:    make([]float64, n),
+		m:    make([]float64, n),
+		v:    make([]float64, n),
+	}
+}
+
+// initXavier fills W with Xavier/Glorot uniform values for a layer
+// with the given fan-in and fan-out.
+func (p *Param) initXavier(g *stats.RNG, fanIn, fanOut int) {
+	lim := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range p.W {
+		p.W[i] = g.Uniform(-lim, lim)
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { zero(p.G) }
+
+// Adam is the Adam optimizer over a set of parameters.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	Clip    float64 // global gradient-norm clip; 0 disables
+	t       int
+	targets []*Param
+}
+
+// NewAdam returns an Adam optimizer with standard defaults
+// (beta1=0.9, beta2=0.999, eps=1e-8) and gradient-norm clipping at 5.
+func NewAdam(lr float64, params []*Param) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5, targets: params}
+}
+
+// Step applies one update using the gradients accumulated in each
+// parameter (scaled by invScale, typically 1/batchSize) and clears
+// them.
+func (a *Adam) Step(invScale float64) {
+	a.t++
+	if a.Clip > 0 {
+		norm := 0.0
+		for _, p := range a.targets {
+			for _, g := range p.G {
+				gg := g * invScale
+				norm += gg * gg
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.Clip {
+			invScale *= a.Clip / norm
+		}
+	}
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range a.targets {
+		for i := range p.W {
+			g := p.G[i] * invScale
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mh := p.m[i] / c1
+			vh := p.v[i] / c2
+			p.W[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// netWire is the serialized form of a Net. §6.1.1 motivates
+// serialization: the MDN can be trained on a dedicated server and
+// shipped to tens or thousands of cache servers, amortizing training
+// cost across a cluster.
+type netWire struct {
+	Cfg     Config
+	Version int
+	Tensors []tensorWire
+}
+
+type tensorWire struct {
+	Name string
+	W    []float64
+}
+
+// Save serializes the network (architecture + weights + version) with
+// encoding/gob. Optimizer state is not persisted; a loaded network can
+// keep training with a fresh optimizer.
+func (n *Net) Save(w io.Writer) error {
+	wire := netWire{Cfg: n.Cfg, Version: n.Version}
+	for _, p := range n.params {
+		wire.Tensors = append(wire.Tensors, tensorWire{Name: p.Name, W: p.W})
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadNet deserializes a network written by Save.
+func LoadNet(r io.Reader) (*Net, error) {
+	var wire netWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	n := NewNet(wire.Cfg)
+	n.Version = wire.Version
+	byName := make(map[string]*Param, len(n.params))
+	for _, p := range n.params {
+		byName[p.Name] = p
+	}
+	for _, t := range wire.Tensors {
+		p, ok := byName[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("nn: unknown tensor %q in stream", t.Name)
+		}
+		if len(t.W) != len(p.W) {
+			return nil, fmt.Errorf("nn: tensor %q has %d weights, want %d", t.Name, len(t.W), len(p.W))
+		}
+		copy(p.W, t.W)
+		delete(byName, t.Name)
+	}
+	if len(byName) != 0 {
+		return nil, fmt.Errorf("nn: stream missing %d tensors", len(byName))
+	}
+	return n, nil
+}

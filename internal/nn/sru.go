@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+
+	"raven/internal/stats"
+)
+
+// SRU is the simple recurrent unit (Lei et al., "Simple Recurrent
+// Units for Highly Parallelizable Recurrence") the paper proposes as a
+// training-time optimization (§6.1.1: "can reduce 28.1% of the
+// training time without performance reduction"). Its gates depend only
+// on the input — there are no hidden-to-hidden matrix products — so a
+// step costs O(H·In) instead of O(H²):
+//
+//	x̃ = W x
+//	f = σ(Wf x + bf)
+//	r = σ(Wr x + br)
+//	c' = f⊙c + (1−f)⊙x̃
+//	h' = r⊙tanh(c') + (1−r)⊙(Wh x)
+//
+// State is [h | c]; the embedding is the h half.
+type SRU struct {
+	In, HiddenN           int
+	W, Wf, Bf, Wr, Br, Wh *Param
+}
+
+// NewSRU returns an SRU cell.
+func NewSRU(name string, in, hidden int, g *stats.RNG) *SRU {
+	s := &SRU{
+		In: in, HiddenN: hidden,
+		W:  newParam(name+".W", hidden*in),
+		Wf: newParam(name+".Wf", hidden*in),
+		Bf: newParam(name+".bf", hidden),
+		Wr: newParam(name+".Wr", hidden*in),
+		Br: newParam(name+".br", hidden),
+		Wh: newParam(name+".Wh", hidden*in),
+	}
+	for _, p := range []*Param{s.W, s.Wf, s.Wr, s.Wh} {
+		p.initXavier(g, in, hidden)
+	}
+	for i := range s.Bf.W {
+		s.Bf.W[i] = 1 // long memory at init
+	}
+	return s
+}
+
+// Params implements Cell.
+func (s *SRU) Params() []*Param {
+	return []*Param{s.W, s.Wf, s.Bf, s.Wr, s.Br, s.Wh}
+}
+
+// StateSize implements Cell: [h | c].
+func (s *SRU) StateSize() int { return 2 * s.HiddenN }
+
+// OutputSize implements Cell.
+func (s *SRU) OutputSize() int { return s.HiddenN }
+
+// Cache buffer layout: Bufs = [x̃, f, r, c', tanh(c'), Wh·x].
+const (
+	sruXT = iota
+	sruF
+	sruR
+	sruC
+	sruTC
+	sruHW
+)
+
+// NewCache implements Cell.
+func (s *SRU) NewCache() *CellCache {
+	h := s.HiddenN
+	return newCellCache(s.In, 2*h, h, h, h, h, h, h)
+}
+
+// Step implements Cell. out may alias prev.
+func (s *SRU) Step(x, prev []float64, cache *CellCache, out []float64) {
+	H := s.HiddenN
+	cPrev := prev[H:]
+	xt := make([]float64, H)
+	f := make([]float64, H)
+	r := make([]float64, H)
+	c := make([]float64, H)
+	tc := make([]float64, H)
+	hw := make([]float64, H)
+	if cache != nil {
+		copy(cache.X, x)
+		copy(cache.Prev, prev)
+		xt, f, r = cache.Bufs[sruXT], cache.Bufs[sruF], cache.Bufs[sruR]
+		c, tc, hw = cache.Bufs[sruC], cache.Bufs[sruTC], cache.Bufs[sruHW]
+	}
+	matVec(s.W.W, H, s.In, x, nil, xt)
+	matVec(s.Wf.W, H, s.In, x, s.Bf.W, f)
+	matVec(s.Wr.W, H, s.In, x, s.Br.W, r)
+	matVec(s.Wh.W, H, s.In, x, nil, hw)
+	for k := 0; k < H; k++ {
+		f[k] = sigmoid(f[k])
+		r[k] = sigmoid(r[k])
+		c[k] = f[k]*cPrev[k] + (1-f[k])*xt[k]
+		tc[k] = math.Tanh(c[k])
+	}
+	for k := 0; k < H; k++ {
+		out[k] = r[k]*tc[k] + (1-r[k])*hw[k]
+		out[H+k] = c[k]
+	}
+}
+
+// Backward implements Cell.
+func (s *SRU) Backward(cache *CellCache, dNext, dPrev []float64) {
+	H := s.HiddenN
+	xt, f, r := cache.Bufs[sruXT], cache.Bufs[sruF], cache.Bufs[sruR]
+	c, tc, hw := cache.Bufs[sruC], cache.Bufs[sruTC], cache.Bufs[sruHW]
+	_ = c
+	cPrev := cache.Prev[H:]
+
+	dh := dNext[:H]
+	dcNext := dNext[H:]
+	dxt := make([]float64, H)
+	dc := make([]float64, H)
+	daf := make([]float64, H)
+	dar := make([]float64, H)
+	dhw := make([]float64, H)
+	zero(dPrev)
+	dcPrev := dPrev[H:]
+	for k := 0; k < H; k++ {
+		dar[k] = dh[k] * (tc[k] - hw[k]) * r[k] * (1 - r[k])
+		dhw[k] = dh[k] * (1 - r[k])
+		dc[k] = dcNext[k] + dh[k]*r[k]*(1-tc[k]*tc[k])
+		daf[k] = dc[k] * (cPrev[k] - xt[k]) * f[k] * (1 - f[k])
+		dxt[k] = dc[k] * (1 - f[k])
+		dcPrev[k] = dc[k] * f[k]
+	}
+	outerAdd(s.W.G, H, s.In, dxt, cache.X)
+	outerAdd(s.Wf.G, H, s.In, daf, cache.X)
+	axpy(1, daf, s.Bf.G)
+	outerAdd(s.Wr.G, H, s.In, dar, cache.X)
+	axpy(1, dar, s.Br.G)
+	outerAdd(s.Wh.G, H, s.In, dhw, cache.X)
+	// No hidden-to-hidden weights: dPrev's h half stays zero, the c
+	// half carries f-gated gradient — exactly why SRU trains faster.
+}

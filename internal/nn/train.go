@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"math"
+
+	"raven/internal/stats"
+)
+
+// Sequence is one object's training record from a window (§4.2.4): its
+// observed interarrival times and the open "survival" interval from
+// its last request to the window end. Sequences with no interarrivals
+// (one-hit wonders) still contribute through the survival term, which
+// is how the paper addresses data scarcity.
+type Sequence struct {
+	Taus     []float64 // interarrival times in ticks
+	Size     float64   // object size in bytes
+	Survival float64   // ticks from last arrival to window end; <= 0 disables the term
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	LR        float64
+	MaxEpochs int
+	Patience  int     // epochs without validation improvement before stopping (§5.1.3)
+	ValFrac   float64 // fraction of sequences withheld for validation
+	Batch     int     // sequences per Adam step
+	MaxSeq    int     // truncate sequences to their last MaxSeq interarrivals
+	Survival  bool    // include the survival-probability loss term (Eq. 5)
+	Seed      int64
+}
+
+func (c *TrainConfig) defaults() {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 60
+	}
+	if c.Patience == 0 {
+		c.Patience = 8
+	}
+	if c.ValFrac == 0 {
+		c.ValFrac = 0.2
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.MaxSeq == 0 {
+		c.MaxSeq = 48
+	}
+}
+
+// TrainResult reports a Fit run.
+type TrainResult struct {
+	Epochs     int
+	TrainNLL   float64 // final mean training NLL per term
+	ValNLL     float64 // best validation NLL per term
+	Sequences  int
+	Terms      int // loss terms in the training split
+	Parameters int
+}
+
+// Fit trains the network on data by maximizing Eq. 5 (log-likelihood
+// of observed residuals plus survival probability of open intervals)
+// with Adam, early-stopping on a withheld validation split. Fit may be
+// called repeatedly (warm start); Version increments on return.
+func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
+	tc.defaults()
+	res := TrainResult{Sequences: len(data), Parameters: n.NumParams()}
+	if len(data) == 0 {
+		n.Version++
+		return res
+	}
+	g := stats.NewRNG(tc.Seed)
+	idx := g.Perm(len(data))
+	nVal := int(tc.ValFrac * float64(len(data)))
+	if nVal >= len(data) {
+		nVal = len(data) - 1
+	}
+	val, train := idx[:nVal], idx[nVal:]
+
+	opt := NewAdam(tc.LR, n.params)
+	best := math.Inf(1)
+	bestW := n.snapshot()
+	badEpochs := 0
+
+	for epoch := 0; epoch < tc.MaxEpochs; epoch++ {
+		res.Epochs = epoch + 1
+		g.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+		terms := 0
+		lossSum := 0.0
+		batchTerms := 0
+		for bi, ti := range train {
+			l, t := n.forwardBackward(&data[ti], g, tc, true)
+			lossSum += l
+			terms += t
+			batchTerms += t
+			if (bi+1)%tc.Batch == 0 || bi == len(train)-1 {
+				if batchTerms > 0 {
+					opt.Step(1 / float64(batchTerms))
+				}
+				batchTerms = 0
+			}
+		}
+		if terms > 0 {
+			res.TrainNLL = lossSum / float64(terms)
+		}
+		res.Terms = terms
+
+		vLoss, vTerms := 0.0, 0
+		for _, vi := range val {
+			l, t := n.forwardBackward(&data[vi], nil, tc, false)
+			vLoss += l
+			vTerms += t
+		}
+		cur := res.TrainNLL
+		if vTerms > 0 {
+			cur = vLoss / float64(vTerms)
+		}
+		if cur < best-1e-4 {
+			best = cur
+			n.copyInto(bestW)
+			badEpochs = 0
+		} else {
+			badEpochs++
+			if badEpochs > tc.Patience {
+				break
+			}
+		}
+	}
+	n.restore(bestW)
+	res.ValNLL = best
+	n.Version++
+	return res
+}
+
+// forwardBackward runs one sequence through the network, returning the
+// summed loss and the number of loss terms. With train=true it
+// accumulates parameter gradients (ages drawn ~ U[0, τ] per Eq. 5);
+// with train=false it evaluates deterministically (age = τ/2).
+func (n *Net) forwardBackward(seq *Sequence, g *stats.RNG, tc TrainConfig, train bool) (float64, int) {
+	taus := seq.Taus
+	if tc.MaxSeq > 0 && len(taus) > tc.MaxSeq {
+		taus = taus[len(taus)-tc.MaxSeq:]
+	}
+	m := len(taus)
+	ts := n.Cfg.TimeScale
+
+	h := n.ZeroState()
+	ss := n.cell.StateSize()
+	var caches []*CellCache
+	var steps []*mlpCache
+	var dhSteps [][]float64
+	if train {
+		caches = make([]*CellCache, m)
+		dhSteps = make([][]float64, m+1)
+	}
+
+	loss := 0.0
+	terms := 0
+	var mix Mixture
+	for i := 0; i < m; i++ {
+		tau := taus[i]
+		if tau < 1e-9 {
+			tau = 1e-9
+		}
+		var age float64
+		if train {
+			age = g.Float64() * tau
+		} else {
+			age = tau / 2
+		}
+		residual := tau - age
+		if residual < 1e-9 {
+			residual = 1e-9
+		}
+		c := n.newMLPCache()
+		n.forwardMLP(h, seq.Size, age, c, &mix)
+		loss += mix.NLLGrad(residual/ts, c.dAW, c.dAMu, c.dAS)
+		terms++
+		if train {
+			steps = append(steps, c)
+			dhSteps[i] = make([]float64, ss)
+			caches[i] = n.cell.NewCache()
+		}
+		x := [1]float64{n.featTau(tau)}
+		if train {
+			n.cell.Step(x[:], h, caches[i], h)
+		} else {
+			n.cell.Step(x[:], h, nil, h)
+		}
+	}
+
+	var survCache *mlpCache
+	if tc.Survival && seq.Survival > 0 {
+		v := seq.Survival
+		var age float64
+		if train {
+			age = g.Float64() * v
+		} else {
+			age = v / 2
+		}
+		thresh := v - age
+		if thresh < 1e-9 {
+			thresh = 1e-9
+		}
+		c := n.newMLPCache()
+		n.forwardMLP(h, seq.Size, age, c, &mix)
+		loss += mix.SurvivalNLLGrad(thresh/ts, c.dAW, c.dAMu, c.dAS)
+		terms++
+		if train {
+			survCache = c
+		}
+	}
+
+	if !train {
+		return loss, terms
+	}
+
+	// Backward: MLP heads first (each contributes a gradient on the
+	// embedding it consumed), then BPTT through the GRU chain.
+	dh := make([]float64, ss)
+	if survCache != nil {
+		n.backwardMLP(survCache, dh)
+	}
+	dhPrev := make([]float64, ss)
+	for i := m - 1; i >= 0; i-- {
+		n.backwardMLP(steps[i], dhSteps[i])
+		n.cell.Backward(caches[i], dh, dhPrev)
+		copy(dh, dhPrev)
+		axpy(1, dhSteps[i], dh)
+	}
+	return loss, terms
+}
+
+func (n *Net) snapshot() [][]float64 {
+	s := make([][]float64, len(n.params))
+	for i, p := range n.params {
+		s[i] = append([]float64(nil), p.W...)
+	}
+	return s
+}
+
+func (n *Net) copyInto(dst [][]float64) {
+	for i, p := range n.params {
+		copy(dst[i], p.W)
+	}
+}
+
+func (n *Net) restore(src [][]float64) {
+	for i, p := range n.params {
+		copy(p.W, src[i])
+	}
+}

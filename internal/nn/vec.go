@@ -1,0 +1,70 @@
+// Package nn is a small, dependency-free neural-network substrate
+// built for Raven's mixture density network (§4.2): float64 vector
+// math, dense layers, a GRU cell with full backpropagation through
+// time, a log-normal mixture density head with the paper's
+// log-likelihood + survival-probability loss (Eq. 4–5), and the Adam
+// optimizer. Gradients are hand-derived and verified against finite
+// differences in the package tests.
+//
+// The package is deliberately scalar and single-threaded: the networks
+// Raven trains are tiny (tens of thousands of parameters), so clarity
+// and determinism win over parallelism.
+package nn
+
+// axpy computes y += a*x.
+func axpy(a float64, x, y []float64) {
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// matVec computes y = W*x + y0 where W is rows×cols row-major, len(x)
+// = cols, len(y) = rows. y is overwritten with W*x when y0 is nil,
+// otherwise y = W*x + y0 (y and y0 may alias).
+func matVec(w []float64, rows, cols int, x, y0, y []float64) {
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		s := 0.0
+		for c, xc := range x {
+			s += row[c] * xc
+		}
+		if y0 != nil {
+			s += y0[r]
+		}
+		y[r] = s
+	}
+}
+
+// matTVecAdd computes dx += W^T * dy.
+func matTVecAdd(w []float64, rows, cols int, dy, dx []float64) {
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		d := dy[r]
+		if d == 0 {
+			continue
+		}
+		for c := 0; c < cols; c++ {
+			dx[c] += row[c] * d
+		}
+	}
+}
+
+// outerAdd accumulates dW += dy ⊗ x (rank-one update).
+func outerAdd(dw []float64, rows, cols int, dy, x []float64) {
+	for r := 0; r < rows; r++ {
+		d := dy[r]
+		if d == 0 {
+			continue
+		}
+		row := dw[r*cols : (r+1)*cols]
+		for c, xc := range x {
+			row[c] += d * xc
+		}
+	}
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}

@@ -1,0 +1,72 @@
+package lecar
+
+import (
+	"testing"
+
+	"raven/internal/cache"
+)
+
+func req(t int64, k cache.Key) cache.Request {
+	return cache.Request{Time: t, Key: k, Size: 1}
+}
+
+func TestGhostListBounded(t *testing.T) {
+	g := newGhostList()
+	for k := cache.Key(0); k < 50; k++ {
+		g.add(k, int64(k), 10)
+	}
+	if g.ll.Len() != 10 || len(g.items) != 10 {
+		t.Errorf("ghost list should be capped at 10, got %d/%d", g.ll.Len(), len(g.items))
+	}
+	// Only the most recent 10 remain.
+	if _, ok := g.take(0); ok {
+		t.Error("oldest ghost should have been trimmed")
+	}
+	if _, ok := g.take(49); !ok {
+		t.Error("newest ghost should be present")
+	}
+}
+
+func TestGhostTakeRemoves(t *testing.T) {
+	g := newGhostList()
+	g.add(1, 7, 10)
+	if step, ok := g.take(1); !ok || step != 7 {
+		t.Fatalf("take(1) = %v,%v", step, ok)
+	}
+	if _, ok := g.take(1); ok {
+		t.Error("second take should miss")
+	}
+}
+
+func TestRegretShiftsWeights(t *testing.T) {
+	p := New(1, 32)
+	c := cache.New(4, p)
+	// Fill, then force LRU-expert evictions and re-request the ghosts:
+	// each ghost hit should boost the LFU expert.
+	for k := cache.Key(1); k <= 4; k++ {
+		c.Handle(req(int64(k), k))
+	}
+	wl0, _ := p.Weights()
+	for i := 0; i < 200; i++ {
+		c.Handle(req(int64(100+2*i), cache.Key(100+i%8)))
+		c.Handle(req(int64(101+2*i), cache.Key(100+(i+1)%8))) // frequent re-misses
+	}
+	wl1, wf1 := p.Weights()
+	if wl1 == wl0 {
+		t.Error("weights never moved despite ghost hits")
+	}
+	if wl1 < 0 || wf1 < 0 || wl1+wf1 < 0.99 || wl1+wf1 > 1.01 {
+		t.Errorf("weights not a distribution: %v + %v", wl1, wf1)
+	}
+}
+
+func TestEvictionsComeFromCache(t *testing.T) {
+	p := New(2, 16)
+	c := cache.New(3, p)
+	for i := 0; i < 500; i++ {
+		c.Handle(req(int64(i), cache.Key(i%9)))
+	}
+	if c.Used() > 3 {
+		t.Errorf("capacity violated: %d", c.Used())
+	}
+}

@@ -1,0 +1,163 @@
+// Package lhd implements a hit-density eviction policy in the spirit
+// of LHD (Beckmann et al., NSDI '18). The policy estimates, from
+// binned age distributions of observed hits and evictions, the
+// expected hits per byte-tick of continued residency ("hit density")
+// for an object of a given age, and evicts the sampled candidate with
+// the lowest density.
+//
+// Compared with the published system this version uses a single object
+// class; the age-binned density estimation, periodic reconfiguration
+// with exponential decay, and sampled eviction follow the original.
+package lhd
+
+import (
+	"raven/internal/cache"
+	"raven/internal/stats"
+)
+
+const (
+	numBins       = 128
+	reconfigEvery = 2048 // evictions between density recomputations
+	decay         = 0.9  // multiplicative history decay per reconfiguration
+)
+
+type meta struct {
+	lastAccess int64
+	size       int64
+}
+
+// LHD evicts the sampled object with the smallest estimated hit
+// density.
+type LHD struct {
+	set     *cache.SampledSet[meta]
+	rng     *stats.RNG
+	now     int64
+	sampleN int
+	scratch []int
+
+	hitAges   [numBins]float64
+	evictAges [numBins]float64
+	density   [numBins]float64
+	gran      float64 // age ticks per bin
+	maxAge    float64
+	evsSince  int
+}
+
+// New returns an LHD policy.
+func New(seed int64) *LHD {
+	p := &LHD{
+		set:     cache.NewSampledSet[meta](),
+		rng:     stats.NewRNG(seed),
+		sampleN: 64,
+		gran:    1,
+	}
+	for i := range p.density {
+		p.density[i] = 1 // optimistic start: everything looks dense
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *LHD) Name() string { return "lhd" }
+
+func (p *LHD) bin(age int64) int {
+	b := int(float64(age) / p.gran)
+	if b < 0 {
+		b = 0
+	}
+	if b >= numBins {
+		b = numBins - 1
+	}
+	return b
+}
+
+// OnHit implements cache.Policy.
+func (p *LHD) OnHit(req cache.Request) {
+	p.now = req.Time
+	if m := p.set.Ref(req.Key); m != nil {
+		age := req.Time - m.lastAccess
+		p.observe(age, &p.hitAges)
+		m.lastAccess = req.Time
+	}
+}
+
+// OnMiss implements cache.Policy.
+func (p *LHD) OnMiss(req cache.Request) { p.now = req.Time }
+
+// OnAdmit implements cache.Policy.
+func (p *LHD) OnAdmit(req cache.Request) {
+	p.set.Add(req.Key, meta{lastAccess: req.Time, size: req.Size})
+}
+
+// OnEvict implements cache.Policy.
+func (p *LHD) OnEvict(key cache.Key) {
+	if m, ok := p.set.Get(key); ok {
+		p.observe(p.now-m.lastAccess, &p.evictAges)
+	}
+	p.set.Remove(key)
+	p.evsSince++
+	if p.evsSince >= reconfigEvery {
+		p.reconfigure()
+		p.evsSince = 0
+	}
+}
+
+func (p *LHD) observe(age int64, hist *[numBins]float64) {
+	if f := float64(age); f > p.maxAge {
+		p.maxAge = f
+	}
+	hist[p.bin(age)]++
+}
+
+// reconfigure recomputes per-bin hit densities from the decayed age
+// histograms: density(b) = P(hit | age >= b) / E[remaining lifetime |
+// age >= b], evaluated by suffix sums.
+func (p *LHD) reconfigure() {
+	// Re-scale the age granularity so observed ages span the bins.
+	if p.maxAge > 0 {
+		p.gran = p.maxAge / float64(numBins-1)
+		if p.gran < 1 {
+			p.gran = 1
+		}
+	}
+	var hitsSuffix, eventsSuffix, lifetimeSuffix float64
+	for b := numBins - 1; b >= 0; b-- {
+		h := p.hitAges[b]
+		e := p.evictAges[b]
+		hitsSuffix += h
+		eventsSuffix += h + e
+		// Event in bin x >= b contributes ~ (x - b) bins of remaining
+		// lifetime; accumulate incrementally: every event already in
+		// the suffix survives one more bin as b decreases.
+		if b < numBins-1 {
+			lifetimeSuffix += eventsSuffix - (h + e)
+		}
+		if eventsSuffix > 0 {
+			life := lifetimeSuffix/eventsSuffix + 0.5 // in bins
+			p.density[b] = (hitsSuffix / eventsSuffix) / (life * p.gran)
+		} else {
+			p.density[b] = 1
+		}
+		p.hitAges[b] *= decay
+		p.evictAges[b] *= decay
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *LHD) Victim() (cache.Key, bool) {
+	if p.set.Len() == 0 {
+		return 0, false
+	}
+	p.scratch = p.set.Sample(p.rng, p.sampleN, p.scratch)
+	var victim cache.Key
+	best := -1.0
+	for _, i := range p.scratch {
+		k, m := p.set.At(i)
+		d := p.density[p.bin(p.now-m.lastAccess)] / float64(m.size)
+		if best < 0 || d < best {
+			best = d
+			victim = k
+		}
+	}
+	return victim, true
+}

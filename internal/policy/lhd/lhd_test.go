@@ -1,0 +1,65 @@
+package lhd
+
+import (
+	"testing"
+
+	"raven/internal/cache"
+)
+
+func req(t int64, k cache.Key, s int64) cache.Request {
+	return cache.Request{Time: t, Key: k, Size: s}
+}
+
+func TestBinClamping(t *testing.T) {
+	p := New(1)
+	if b := p.bin(-5); b != 0 {
+		t.Errorf("negative age bin %d, want 0", b)
+	}
+	if b := p.bin(1 << 60); b != numBins-1 {
+		t.Errorf("huge age bin %d, want %d", b, numBins-1)
+	}
+}
+
+func TestReconfigureRescalesGranularity(t *testing.T) {
+	p := New(2)
+	p.observe(1000, &p.hitAges)
+	p.reconfigure()
+	if p.gran <= 1 {
+		t.Errorf("granularity %v should grow after observing age 1000", p.gran)
+	}
+}
+
+func TestDensityFavorsRecentlyHitAges(t *testing.T) {
+	p := New(3)
+	// Hits cluster at small ages; evictions at large ages.
+	for i := 0; i < 1000; i++ {
+		p.observe(10, &p.hitAges)
+		p.observe(1000, &p.evictAges)
+	}
+	p.reconfigure()
+	young := p.density[p.bin(10)]
+	old := p.density[p.bin(1000)]
+	if young <= old {
+		t.Errorf("density at hit-rich age (%v) should exceed eviction-rich age (%v)", young, old)
+	}
+}
+
+func TestVictimPrefersLowDensity(t *testing.T) {
+	p := New(4)
+	// Train the age histograms directly: hits arrive at small ages,
+	// evictions happen at large ages, then rebuild the densities.
+	for i := 0; i < 1000; i++ {
+		p.observe(10, &p.hitAges)
+		p.observe(5000, &p.evictAges)
+	}
+	p.reconfigure()
+	// Two tracked objects: one fresh (small age, dense), one idle.
+	p.OnAdmit(req(100, 1, 1))
+	p.OnAdmit(req(100, 9, 1))
+	p.OnHit(req(5100, 1, 1)) // key 1 refreshed at t=5100
+	p.now = 5110             // key 1 age 10, key 9 age 5010
+	victim, ok := p.Victim()
+	if !ok || victim != 9 {
+		t.Errorf("victim = %v,%v; want the long-idle key 9", victim, ok)
+	}
+}

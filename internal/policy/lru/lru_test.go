@@ -1,0 +1,102 @@
+package lru
+
+import (
+	"testing"
+
+	"raven/internal/cache"
+)
+
+func req(t int64, k cache.Key, s int64) cache.Request {
+	return cache.Request{Time: t, Key: k, Size: s}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := cache.New(3, New())
+	c.Handle(req(1, 1, 1))
+	c.Handle(req(2, 2, 1))
+	c.Handle(req(3, 3, 1))
+	c.Handle(req(4, 1, 1)) // touch 1: now 2 is LRU
+	c.Handle(req(5, 4, 1)) // evicts 2
+	if c.Contains(2) {
+		t.Error("2 should be evicted")
+	}
+	for _, k := range []cache.Key{1, 3, 4} {
+		if !c.Contains(k) {
+			t.Errorf("%d should be resident", k)
+		}
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	c := cache.New(3, NewFIFO())
+	c.Handle(req(1, 1, 1))
+	c.Handle(req(2, 2, 1))
+	c.Handle(req(3, 3, 1))
+	c.Handle(req(4, 1, 1)) // hit does not refresh FIFO position
+	c.Handle(req(5, 4, 1)) // evicts 1 (oldest insertion)
+	if c.Contains(1) {
+		t.Error("FIFO should evict insertion order regardless of hits")
+	}
+}
+
+func TestVictimEmpty(t *testing.T) {
+	p := New()
+	if _, ok := p.Victim(); ok {
+		t.Error("empty policy should have no victim")
+	}
+}
+
+func TestSLRUPromotion(t *testing.T) {
+	// 2 segments, capacity 4: quota 2 bytes each.
+	p := NewSLRU(2, 4)
+	c := cache.New(4, p)
+	c.Handle(req(1, 1, 1))
+	c.Handle(req(2, 2, 1))
+	c.Handle(req(3, 1, 1)) // promote 1 to segment 1
+	c.Handle(req(4, 3, 1))
+	c.Handle(req(5, 4, 1))
+	// Cache full: 1 in seg1; 2,3,4 spread. Insert 5 -> evict from
+	// lowest segment; the promoted 1 must survive.
+	c.Handle(req(6, 5, 1))
+	if !c.Contains(1) {
+		t.Error("promoted object should survive eviction of the probation segment")
+	}
+}
+
+func TestSLRUVictimCascades(t *testing.T) {
+	p := NewSLRU(4, 8)
+	c := cache.New(8, p)
+	// Fill and promote everything to top segments.
+	for k := cache.Key(1); k <= 8; k++ {
+		c.Handle(req(int64(k), k, 1))
+	}
+	for round := 0; round < 4; round++ {
+		for k := cache.Key(1); k <= 8; k++ {
+			c.Handle(req(int64(100+round*10+int(k)), k, 1))
+		}
+	}
+	// All promoted; a new object must still find a victim.
+	c.Handle(req(999, 99, 1))
+	if !c.Contains(99) {
+		t.Error("new object should be admitted even when low segments are empty")
+	}
+	if c.Used() > 8 {
+		t.Errorf("capacity violated: %d", c.Used())
+	}
+}
+
+func TestSLRUPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSLRU(0, 10) },
+		func() { NewSLRU(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

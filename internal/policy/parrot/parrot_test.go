@@ -1,0 +1,57 @@
+package parrot
+
+import (
+	"math"
+	"testing"
+
+	"raven/internal/cache"
+)
+
+func TestFeatureVectorShape(t *testing.T) {
+	p := New(Config{Seed: 1})
+	p.now = 100
+	m := &meta{lastAccess: 90, admitTime: 50, freq: 3}
+	m.taus[0] = 10
+	f := p.features(m)
+	if len(f) != numFeatures {
+		t.Fatalf("feature length %d, want %d", len(f), numFeatures)
+	}
+	if f[numTaus] != math.Log1p(10) { // age
+		t.Errorf("age feature %v", f[numTaus])
+	}
+	if f[numTaus+1] != math.Log1p(3) { // freq
+		t.Errorf("freq feature %v", f[numTaus+1])
+	}
+}
+
+func TestTeacherPhaseFollowsBelady(t *testing.T) {
+	p := New(Config{TeacherEpisodes: 1000, Seed: 2})
+	c := cache.New(2, p)
+	// Key 1 next at 100, key 2 next at 5: teacher must evict 1.
+	c.Handle(cache.Request{Time: 1, Key: 1, Size: 1, Next: 100})
+	c.Handle(cache.Request{Time: 2, Key: 2, Size: 1, Next: 5})
+	c.Handle(cache.Request{Time: 3, Key: 3, Size: 1, Next: 50})
+	if c.Contains(1) {
+		t.Error("teacher phase should evict the farthest-next-arrival object")
+	}
+	if !c.Contains(2) {
+		t.Error("the soon-needed object should survive")
+	}
+	if p.Trained() {
+		t.Error("should still be in teacher phase")
+	}
+}
+
+func TestTrainingTriggersAfterEpisodes(t *testing.T) {
+	p := New(Config{TeacherEpisodes: 5, Epochs: 2, Seed: 3})
+	c := cache.New(2, p)
+	for i := 0; i < 40; i++ {
+		c.Handle(cache.Request{Time: int64(i), Key: cache.Key(i % 7), Size: 1, Next: int64(i + 7)})
+	}
+	if !p.Trained() {
+		t.Error("imitator should have trained after enough episodes")
+	}
+	if p.episodes != nil {
+		t.Error("episode buffer should be released after training")
+	}
+}

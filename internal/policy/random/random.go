@@ -1,0 +1,43 @@
+// Package random implements uniform random eviction, the simplest
+// baseline in the paper's Fig. 21 comparison.
+package random
+
+import (
+	"raven/internal/cache"
+	"raven/internal/stats"
+)
+
+// Random evicts a uniformly random cached object.
+type Random struct {
+	set *cache.SampledSet[struct{}]
+	rng *stats.RNG
+}
+
+// New returns a Random policy with the given seed.
+func New(seed int64) *Random {
+	return &Random{set: cache.NewSampledSet[struct{}](), rng: stats.NewRNG(seed)}
+}
+
+// Name implements cache.Policy.
+func (p *Random) Name() string { return "random" }
+
+// OnHit implements cache.Policy.
+func (p *Random) OnHit(cache.Request) {}
+
+// OnMiss implements cache.Policy.
+func (p *Random) OnMiss(cache.Request) {}
+
+// OnAdmit implements cache.Policy.
+func (p *Random) OnAdmit(req cache.Request) { p.set.Add(req.Key, struct{}{}) }
+
+// OnEvict implements cache.Policy.
+func (p *Random) OnEvict(key cache.Key) { p.set.Remove(key) }
+
+// Victim implements cache.Policy.
+func (p *Random) Victim() (cache.Key, bool) {
+	if p.set.Len() == 0 {
+		return 0, false
+	}
+	k, _ := p.set.At(p.rng.Intn(p.set.Len()))
+	return k, true
+}

@@ -1,0 +1,170 @@
+// Package policy provides the registry that builds any of the
+// repository's eviction policies by name — the 14 baselines of the
+// paper's Fig. 21, the offline optima, and Raven itself — plus the
+// size-threshold admission wrapper used by the ThLRU/ThS4LRU variants.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"raven/internal/cache"
+	"raven/internal/core"
+	"raven/internal/policy/adaptsize"
+	"raven/internal/policy/arc"
+	"raven/internal/policy/belady"
+	"raven/internal/policy/freq"
+	"raven/internal/policy/hyperbolic"
+	"raven/internal/policy/lecar"
+	"raven/internal/policy/lhd"
+	"raven/internal/policy/lhr"
+	"raven/internal/policy/lrb"
+	"raven/internal/policy/lru"
+	"raven/internal/policy/marker"
+	"raven/internal/policy/parrot"
+	"raven/internal/policy/random"
+	"raven/internal/policy/tinylfu"
+	"raven/internal/policy/ucb"
+)
+
+// Options carries the context policies need at construction time.
+type Options struct {
+	// Capacity is the cache size in bytes (used by segmented LRU
+	// quotas, admission thresholds, and AdaptSize).
+	Capacity int64
+	// TrainWindow is the retraining period in ticks for the learning
+	// policies (LRB's memory window, Raven's training window).
+	TrainWindow int64
+	// EntriesEstimate approximates how many objects fit in the cache
+	// (LeCaR ghost lists). 0 derives a rough default from Capacity.
+	EntriesEstimate int
+	// Seed makes stochastic policies deterministic.
+	Seed int64
+	// Raven optionally overrides the default Raven configuration; its
+	// TrainWindow/Goal/Seed are filled from this Options if zero.
+	Raven *core.Config
+}
+
+func (o Options) entries() int {
+	if o.EntriesEstimate > 0 {
+		return o.EntriesEstimate
+	}
+	if o.Capacity > 0 && o.Capacity < 1<<20 {
+		return int(o.Capacity)
+	}
+	return 4096
+}
+
+func (o Options) window() int64 {
+	if o.TrainWindow > 0 {
+		return o.TrainWindow
+	}
+	return 1 << 20
+}
+
+func (o Options) ravenConfig(goal core.Goal) core.Config {
+	var cfg core.Config
+	if o.Raven != nil {
+		cfg = *o.Raven
+	}
+	cfg.Goal = goal
+	if cfg.TrainWindow == 0 {
+		cfg.TrainWindow = o.window()
+	}
+	if cfg.SampleBudgetBytes == 0 && o.Capacity > 0 {
+		cfg.SampleBudgetBytes = 5 * o.Capacity // §4.1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = o.Seed + 77
+	}
+	return cfg
+}
+
+// builders maps policy names to constructors.
+var builders = map[string]func(o Options) cache.Policy{
+	"lru":    func(o Options) cache.Policy { return lru.New() },
+	"fifo":   func(o Options) cache.Policy { return lru.NewFIFO() },
+	"random": func(o Options) cache.Policy { return random.New(o.Seed) },
+	"lfu":    func(o Options) cache.Policy { return freq.NewLFU() },
+	"lfuda":  func(o Options) cache.Policy { return freq.NewLFUDA() },
+	"gdsf":   func(o Options) cache.Policy { return freq.NewGDSF() },
+	"lruk":   func(o Options) cache.Policy { return freq.NewLRUK(2) },
+	"s4lru":  func(o Options) cache.Policy { return lru.NewSLRU(4, o.Capacity) },
+	"thlru": func(o Options) cache.Policy {
+		return WithSizeThreshold(lru.New(), o.Capacity/50)
+	},
+	"ths4lru": func(o Options) cache.Policy {
+		return WithSizeThreshold(lru.NewSLRU(4, o.Capacity), o.Capacity/50)
+	},
+	"hyperbolic": func(o Options) cache.Policy {
+		return hyperbolic.New(o.Seed, hyperbolic.WithSizeAware())
+	},
+	"lhd":   func(o Options) cache.Policy { return lhd.New(o.Seed) },
+	"lecar": func(o Options) cache.Policy { return lecar.New(o.Seed, o.entries()) },
+	"ucb":   func(o Options) cache.Policy { return ucb.New(o.Seed) },
+	"lrb": func(o Options) cache.Policy {
+		return lrb.New(lrb.Config{MemoryWindow: o.window(), Seed: o.Seed})
+	},
+	"lhr":     func(o Options) cache.Policy { return lhr.New(lhr.GoalOHR, o.Seed) },
+	"lhr-bhr": func(o Options) cache.Policy { return lhr.New(lhr.GoalBHR, o.Seed) },
+	"lhr-adm": func(o Options) cache.Policy {
+		return lhr.New(lhr.GoalOHR, o.Seed, lhr.WithAdmission())
+	},
+	"adaptsize": func(o Options) cache.Policy { return adaptsize.New(o.Capacity, o.Seed) },
+	"arc":       func(o Options) cache.Policy { return arc.New(o.Capacity) },
+	"tinylfu":   func(o Options) cache.Policy { return tinylfu.New(o.Capacity, o.entries()) },
+	"marker":    func(o Options) cache.Policy { return marker.New(o.Seed) },
+	"predictivemarker": func(o Options) cache.Policy {
+		return marker.NewPredictive(o.Seed, marker.NewEWMAPredictor(0.3))
+	},
+	"parrot": func(o Options) cache.Policy { return parrot.New(parrot.Config{Seed: o.Seed}) },
+	"belady": func(o Options) cache.Policy { return belady.New() },
+	"belady-size": func(o Options) cache.Policy {
+		return belady.NewSize(o.Seed, 64)
+	},
+	"raven": func(o Options) cache.Policy {
+		return core.New(o.ravenConfig(core.GoalBHR))
+	},
+	"raven-ohr": func(o Options) cache.Policy {
+		return core.New(o.ravenConfig(core.GoalOHR))
+	},
+}
+
+// New builds a policy by name.
+func New(name string, o Options) (cache.Policy, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+	}
+	return b(o), nil
+}
+
+// MustNew is New for callers with static names; it panics on error.
+func MustNew(name string, o Options) cache.Policy {
+	p, err := New(name, o)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists all registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Baselines14 lists the paper's 14 baseline algorithms (Fig. 21).
+var Baselines14 = []string{
+	"lru", "ths4lru", "random", "lfuda", "lruk", "hyperbolic", "gdsf",
+	"fifo", "thlru", "lrb", "ucb", "lhd", "lhr", "lecar",
+}
+
+// Best8 lists the eight best-performing algorithms shown in Fig. 9/10.
+var Best8 = []string{
+	"lrb", "lhr", "lhd", "gdsf", "hyperbolic", "lfuda", "lru", "ths4lru",
+}

@@ -1,0 +1,31 @@
+package policy
+
+import "raven/internal/cache"
+
+// SizeThreshold wraps a policy with static size-threshold admission:
+// only objects no larger than Max bytes are admitted (the "Th" prefix
+// of the ThLRU/ThS4LRU baselines from Facebook's photo cache study).
+type SizeThreshold struct {
+	cache.Policy
+	Max int64
+}
+
+// WithSizeThreshold wraps inner; max <= 0 falls back to admitting
+// everything.
+func WithSizeThreshold(inner cache.Policy, max int64) *SizeThreshold {
+	return &SizeThreshold{Policy: inner, Max: max}
+}
+
+// Name implements cache.Policy.
+func (t *SizeThreshold) Name() string { return "th" + t.Policy.Name() }
+
+// ShouldAdmit implements cache.Admitter.
+func (t *SizeThreshold) ShouldAdmit(req cache.Request) bool {
+	if t.Max <= 0 {
+		return true
+	}
+	if adm, ok := t.Policy.(cache.Admitter); ok && !adm.ShouldAdmit(req) {
+		return false
+	}
+	return req.Size <= t.Max
+}

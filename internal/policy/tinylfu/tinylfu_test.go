@@ -1,0 +1,49 @@
+package tinylfu
+
+import (
+	"testing"
+
+	"raven/internal/cache"
+)
+
+func TestFreqIncludesDoorkeeper(t *testing.T) {
+	p := New(100, 100)
+	p.observe(7) // enters doorkeeper only
+	if f := p.freq(7); f != 1 {
+		t.Errorf("first-seen freq %d, want 1 (doorkeeper bit)", f)
+	}
+	p.observe(7) // now reaches the sketch
+	if f := p.freq(7); f < 2 {
+		t.Errorf("twice-seen freq %d, want >= 2", f)
+	}
+}
+
+func TestUsedBytesTracked(t *testing.T) {
+	p := New(100, 64)
+	c := cache.New(100, p)
+	c.Handle(cache.Request{Time: 1, Key: 1, Size: 30})
+	c.Handle(cache.Request{Time: 2, Key: 2, Size: 30})
+	if p.used != 60 {
+		t.Errorf("used %d, want 60", p.used)
+	}
+	// Force an eviction and check accounting follows.
+	c.Handle(cache.Request{Time: 3, Key: 1, Size: 30}) // hit: freq(1) grows
+	c.Handle(cache.Request{Time: 4, Key: 3, Size: 60}) // duel vs victim
+	if p.used != c.Used() {
+		t.Errorf("policy used %d != engine used %d", p.used, c.Used())
+	}
+}
+
+func TestDuelRejectsUnpopular(t *testing.T) {
+	p := New(10, 64)
+	c := cache.New(10, p)
+	// Key 1 very popular.
+	for i := 0; i < 20; i++ {
+		c.Handle(cache.Request{Time: int64(i), Key: 1, Size: 10})
+	}
+	// Newcomer seen once loses the duel against the popular resident.
+	c.Handle(cache.Request{Time: 100, Key: 2, Size: 10})
+	if !c.Contains(1) || c.Contains(2) {
+		t.Error("unpopular newcomer should lose the TinyLFU duel")
+	}
+}

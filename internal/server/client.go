@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"raven/internal/stats"
+	"raven/internal/trace"
+)
+
+// Client replays traces against a Server over TCP and measures what
+// Table 3 reports: latency percentiles, backend traffic, and
+// throughput.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.w, "QUIT\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// Get requests one object and reports whether it hit.
+func (c *Client) Get(key trace.Key, size int64, ts int64) (bool, error) {
+	if ts >= 0 {
+		fmt.Fprintf(c.w, "GET %d %d %d\n", key, size, ts)
+	} else {
+		fmt.Fprintf(c.w, "GET %d %d\n", key, size)
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case strings.HasPrefix(line, "HIT"):
+		return true, nil
+	case strings.HasPrefix(line, "MISS"):
+		return false, nil
+	default:
+		return false, fmt.Errorf("client: unexpected reply %q", strings.TrimSpace(line))
+	}
+}
+
+// ReplayResult aggregates a replay's measurements.
+type ReplayResult struct {
+	Requests int
+	Hits     int
+	ReqBytes int64
+	HitBytes int64
+
+	Latency stats.Summary // nanoseconds, measured over the wire
+	// Curve samples the cumulative hit ratios over time (Fig. 12).
+	Curve []CurvePoint
+
+	Wall time.Duration
+}
+
+// CurvePoint is one hit-ratio-over-time sample.
+type CurvePoint struct {
+	Requests int
+	OHR      float64
+	BHR      float64
+}
+
+// OHR returns the replay's object hit ratio.
+func (r *ReplayResult) OHR() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Requests)
+}
+
+// BHR returns the replay's byte hit ratio.
+func (r *ReplayResult) BHR() float64 {
+	if r.ReqBytes == 0 {
+		return 0
+	}
+	return float64(r.HitBytes) / float64(r.ReqBytes)
+}
+
+// BackendBytes returns bytes fetched from the origin.
+func (r *ReplayResult) BackendBytes() int64 { return r.ReqBytes - r.HitBytes }
+
+// Replay sends every request of tr in order, measuring per-request
+// round-trip latency. curvePoints > 0 records the hit-ratio
+// trajectory.
+func (c *Client) Replay(tr *trace.Trace, curvePoints int) (*ReplayResult, error) {
+	res := &ReplayResult{}
+	lat := stats.NewReservoir(8192, 11)
+	every := 0
+	if curvePoints > 0 {
+		every = tr.Len() / curvePoints
+		if every == 0 {
+			every = 1
+		}
+	}
+	start := time.Now()
+	for i, req := range tr.Reqs {
+		t0 := time.Now()
+		hit, err := c.Get(req.Key, req.Size, req.Time)
+		if err != nil {
+			return nil, fmt.Errorf("client: request %d: %w", i, err)
+		}
+		lat.Add(float64(time.Since(t0).Nanoseconds()))
+		res.Requests++
+		res.ReqBytes += req.Size
+		if hit {
+			res.Hits++
+			res.HitBytes += req.Size
+		}
+		if every > 0 && (i+1)%every == 0 {
+			res.Curve = append(res.Curve, CurvePoint{Requests: i + 1, OHR: res.OHR(), BHR: res.BHR()})
+		}
+	}
+	res.Wall = time.Since(start)
+	res.Latency = lat.Summary()
+	return res, nil
+}

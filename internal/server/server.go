@@ -1,0 +1,194 @@
+// Package server implements the prototype cache server used for the
+// paper's §5.4 system experiment — our stand-in for the Apache Traffic
+// Server integration. It serves a line-based text protocol over TCP:
+//
+//	GET <key> <size>\n   →  HIT <size>\n | MISS <size>\n
+//	STATS\n              →  STATS <requests> <hits> <reqBytes> <hitBytes>\n
+//	QUIT\n               →  connection close
+//
+// A configurable origin delay is charged on every miss and a cache
+// delay on every request, modelling the testbed RTTs of §5.1.4 at a
+// reduced scale so experiments finish quickly. Any eviction policy
+// from this repository can drive the server; the "unmodified ATS"
+// baseline is the same server with LRU.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"raven/internal/cache"
+	"raven/internal/trace"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr to listen on; use "127.0.0.1:0" for an ephemeral port.
+	Addr string
+	// Capacity of the cache in bytes.
+	Capacity int64
+	// Policy drives evictions. The server serializes access to it.
+	Policy cache.Policy
+
+	// CacheDelay is charged on every request (edge RTT), OriginDelay
+	// additionally on every miss.
+	CacheDelay  time.Duration
+	OriginDelay time.Duration
+}
+
+// Server is a TCP cache server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu    sync.Mutex
+	cache *cache.Cache
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// New creates and starts a server listening on cfg.Addr.
+func New(cfg Config) (*Server, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("server: nil policy")
+	}
+	if cfg.Capacity <= 0 {
+		return nil, errors.New("server: capacity must be positive")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		cache:  cache.New(cfg.Capacity, cfg.Policy),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the cache statistics.
+func (s *Server) Stats() cache.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Stats()
+}
+
+// Close stops accepting connections and waits for handlers to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), 1<<16)
+	w := bufio.NewWriter(conn)
+	// A virtual clock for the policy: the server has no trace
+	// timestamps, so request count stands in for time.
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "GET":
+			if len(fields) != 3 && len(fields) != 4 {
+				fmt.Fprintf(w, "ERR want: GET <key> <size> [time]\n")
+				w.Flush()
+				continue
+			}
+			key, err1 := strconv.ParseUint(fields[1], 10, 64)
+			size, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil || size <= 0 {
+				fmt.Fprintf(w, "ERR bad key or size\n")
+				w.Flush()
+				continue
+			}
+			var ts int64 = -1
+			if len(fields) == 4 {
+				var err error
+				ts, err = strconv.ParseInt(fields[3], 10, 64)
+				if err != nil {
+					fmt.Fprintf(w, "ERR bad time\n")
+					w.Flush()
+					continue
+				}
+			}
+			hit := s.serve(trace.Key(key), size, ts)
+			if s.cfg.CacheDelay > 0 {
+				time.Sleep(s.cfg.CacheDelay)
+			}
+			if hit {
+				fmt.Fprintf(w, "HIT %d\n", size)
+			} else {
+				if s.cfg.OriginDelay > 0 {
+					time.Sleep(s.cfg.OriginDelay)
+				}
+				fmt.Fprintf(w, "MISS %d\n", size)
+			}
+			w.Flush()
+		case "STATS":
+			st := s.Stats()
+			fmt.Fprintf(w, "STATS %d %d %d %d\n", st.Requests, st.Hits, st.ReqBytes, st.HitBytes)
+			w.Flush()
+		case "QUIT":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+			w.Flush()
+		}
+	}
+}
+
+// serve handles one request under the cache lock. ts < 0 substitutes
+// a request-count virtual clock so learning policies' training windows
+// still advance for clients that do not send trace timestamps.
+func (s *Server) serve(key trace.Key, size int64, ts int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts < 0 {
+		ts = s.cache.Stats().Requests + 1
+	}
+	req := trace.Request{Time: ts, Key: key, Size: size, Next: trace.NoNext}
+	return s.cache.Handle(req)
+}

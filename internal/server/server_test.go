@@ -1,0 +1,154 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+func newTestServer(t *testing.T, capacity int64) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		Capacity: capacity,
+		Policy:   policy.MustNew("lru", policy.Options{Capacity: capacity}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestServerHitMissOverTCP(t *testing.T) {
+	srv := newTestServer(t, 100)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	hit, err := cl.Get(1, 10, 1)
+	if err != nil || hit {
+		t.Fatalf("first GET: hit=%v err=%v", hit, err)
+	}
+	hit, err = cl.Get(1, 10, 2)
+	if err != nil || !hit {
+		t.Fatalf("second GET: hit=%v err=%v", hit, err)
+	}
+	st := srv.Stats()
+	if st.Requests != 2 || st.Hits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestServerEvictsUnderPressure(t *testing.T) {
+	srv := newTestServer(t, 20)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for k := trace.Key(1); k <= 5; k++ {
+		if _, err := cl.Get(k, 10, int64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Evictions == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+func TestServerRejectsBadCommands(t *testing.T) {
+	srv := newTestServer(t, 100)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, line := range []string{"GET 1", "GET a 5", "GET 1 0", "BOGUS"} {
+		if _, err := cl.w.WriteString(line + "\n"); err != nil {
+			t.Fatal(err)
+		}
+		cl.w.Flush()
+		reply, err := cl.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(reply, "ERR") {
+			t.Errorf("line %q got reply %q, want ERR", line, reply)
+		}
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := New(Config{Capacity: 10}); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if _, err := New(Config{Policy: policy.MustNew("lru", policy.Options{})}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestClientReplayMeasures(t *testing.T) {
+	srv := newTestServer(t, 50)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tr := trace.Synthetic(trace.SynthConfig{Objects: 100, Requests: 2000, Interarrival: trace.Poisson, Seed: 1})
+	res, err := cl.Replay(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2000 {
+		t.Errorf("requests %d", res.Requests)
+	}
+	if res.OHR() <= 0 || res.OHR() >= 1 {
+		t.Errorf("implausible OHR %v", res.OHR())
+	}
+	if res.Latency.Count == 0 || res.Latency.Mean <= 0 {
+		t.Error("latency not measured")
+	}
+	if len(res.Curve) < 4 {
+		t.Errorf("curve points %d", len(res.Curve))
+	}
+	st := srv.Stats()
+	if st.Hits != int64(res.Hits) {
+		t.Errorf("server hits %d != client hits %d", st.Hits, res.Hits)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := newTestServer(t, 1000)
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 500; i++ {
+				if _, err := cl.Get(trace.Key(i%50), 10, int64(w*1000+i)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Stats(); st.Requests != 2000 {
+		t.Errorf("requests %d, want 2000", st.Requests)
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"sync"
+
+	"raven/internal/cache"
+	"raven/internal/trace"
+)
+
+// RunConcurrent replays the same trace through several policies in
+// parallel goroutines, one cache per policy, and returns results in
+// input order. Policies themselves are single-threaded; the
+// parallelism is across independent simulations, so this helps on
+// multicore machines running policy sweeps (a full Fig. 9 row, a
+// cache-size sweep).
+//
+// maxParallel bounds concurrent simulations (0 = unbounded). The trace
+// is annotated once before the fan-out to avoid a data race on the
+// shared request slice.
+func RunConcurrent(tr *trace.Trace, ps []cache.Policy, opts Options, maxParallel int) []*Result {
+	if !tr.Annotated() {
+		tr.AnnotateNext()
+	}
+	out := make([]*Result, len(ps))
+	var wg sync.WaitGroup
+	var sem chan struct{}
+	if maxParallel > 0 {
+		sem = make(chan struct{}, maxParallel)
+	}
+	for i, p := range ps {
+		wg.Add(1)
+		go func(i int, p cache.Policy) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			out[i] = Run(tr, p, opts)
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"raven/internal/cache"
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+func TestRunConcurrentMatchesSequential(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 100, Requests: 8000, Interarrival: trace.Uniform, Seed: 9,
+	})
+	names := []string{"lru", "fifo", "lfu", "gdsf", "belady"}
+	mk := func() []cache.Policy {
+		var ps []cache.Policy
+		for _, n := range names {
+			ps = append(ps, policy.MustNew(n, policy.Options{Capacity: 40, Seed: 1}))
+		}
+		return ps
+	}
+	opts := Options{Capacity: 40, Seed: 2}
+	seq := RunMany(tr, mk(), opts)
+	par := RunConcurrent(tr, mk(), opts, 3)
+	for i := range names {
+		if par[i] == nil {
+			t.Fatalf("missing result %d", i)
+		}
+		if seq[i].OHR != par[i].OHR || seq[i].Stats != par[i].Stats {
+			t.Errorf("%s: concurrent run diverges from sequential (%.4f vs %.4f)",
+				names[i], par[i].OHR, seq[i].OHR)
+		}
+	}
+}
+
+func TestRunConcurrentUnbounded(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 50, Requests: 2000, Interarrival: trace.Poisson, Seed: 10,
+	})
+	ps := []cache.Policy{
+		policy.MustNew("lru", policy.Options{Capacity: 20}),
+		policy.MustNew("random", policy.Options{Capacity: 20, Seed: 3}),
+	}
+	rs := RunConcurrent(tr, ps, Options{Capacity: 20}, 0)
+	if rs[0].Policy != "lru" || rs[1].Policy != "random" {
+		t.Errorf("order not preserved: %s %s", rs[0].Policy, rs[1].Policy)
+	}
+}

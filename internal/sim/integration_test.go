@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"raven/internal/cache"
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+// TestOracleAgreesWithAnnotation cross-checks the two oracle
+// mechanisms: Request.Next (backward-pass annotation) must equal
+// Oracle.NextAfter(key, time) at every request.
+func TestOracleAgreesWithAnnotation(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := trace.Synthetic(trace.SynthConfig{
+			Objects: 40, Requests: 2000, Interarrival: trace.Pareto, Seed: seed,
+		})
+		tr.AnnotateNext()
+		o := NewOracle(tr)
+		for _, r := range tr.Reqs {
+			if o.NextAfter(r.Key, r.Time) != r.Next {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWarmupExcludesEarlyRequests verifies the Appendix C.1 warmup
+// accounting: reported request counts cover only the post-warmup part.
+func TestWarmupExcludesEarlyRequests(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 100, Requests: 10000, Interarrival: trace.Poisson, Seed: 3,
+	})
+	res := Run(tr, policy.MustNew("lru", policy.Options{Capacity: 50}), Options{
+		Capacity: 50, WarmupFrac: 0.5,
+	})
+	if res.Stats.Requests != 5000 {
+		t.Errorf("post-warmup requests %d, want 5000", res.Stats.Requests)
+	}
+}
+
+// TestWarmupDoesNotChangeCacheContents: warmup affects accounting, not
+// behaviour — final hit counts with warmup equal the second-half
+// incremental hits of a run without warmup.
+func TestWarmupDoesNotChangeCacheContents(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 100, Requests: 10000, Interarrival: trace.Uniform, Seed: 4,
+	})
+	warm := Run(tr, policy.MustNew("lru", policy.Options{Capacity: 50}), Options{
+		Capacity: 50, WarmupFrac: 0.5,
+	})
+	full := Run(tr, policy.MustNew("lru", policy.Options{Capacity: 50}), Options{
+		Capacity: 50, CurvePoints: 2,
+	})
+	// Incremental hits over the second half of the no-warmup run.
+	mid := full.Curve[0]
+	last := full.Curve[1]
+	incHits := int64(last.OHR*float64(last.Requests) - mid.OHR*float64(mid.Requests))
+	if d := warm.Stats.Hits - incHits; d > 1 || d < -1 {
+		t.Errorf("warmup hits %d != incremental second-half hits %d", warm.Stats.Hits, incHits)
+	}
+}
+
+// TestHigherCapacityNeverHurtsBelady: for the offline optimum, OHR is
+// monotone in cache size (a property test of both the simulator and
+// the Belady implementation).
+func TestHigherCapacityNeverHurtsBelady(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 200, Requests: 20000, Interarrival: trace.Pareto, Seed: 5,
+	})
+	prev := -1.0
+	for _, c := range []int64{25, 50, 100, 200} {
+		res := Run(tr, policy.MustNew("belady", policy.Options{Capacity: c}), Options{Capacity: c})
+		if res.OHR < prev-1e-9 {
+			t.Errorf("Belady OHR decreased from %.4f to %.4f at capacity %d", prev, res.OHR, c)
+		}
+		prev = res.OHR
+	}
+}
+
+// TestNetAccountingConsistent: backend bytes equal request bytes minus
+// hit bytes, and throughput numbers are positive.
+func TestNetAccountingConsistent(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 100, Requests: 10000, Interarrival: trace.Poisson,
+		VariableSizes: true, Seed: 6,
+	})
+	res := Run(tr, policy.MustNew("lru", policy.Options{Capacity: tr.UniqueBytes() / 10}), Options{
+		Capacity: tr.UniqueBytes() / 10, Net: CDNModel(),
+	})
+	if res.Net.BackendBytes != res.Stats.MissBytes() {
+		t.Errorf("backend bytes %d != miss bytes %d", res.Net.BackendBytes, res.Stats.MissBytes())
+	}
+	if res.Net.ThroughputGbps <= 0 || res.Net.AvgLatency <= 0 {
+		t.Errorf("non-positive model outputs: %+v", res.Net)
+	}
+	if res.Net.P99Latency < res.Net.P90Latency || res.Net.P90Latency < res.Net.AvgLatency/10 {
+		t.Errorf("implausible latency percentiles: %+v", res.Net)
+	}
+}
+
+// TestRunManyOrder preserves input order and sorts work as expected.
+func TestRunManyOrder(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{Objects: 50, Requests: 3000, Interarrival: trace.Poisson, Seed: 7})
+	var list []cache.Policy
+	for _, n := range []string{"lru", "fifo", "random"} {
+		list = append(list, policy.MustNew(n, policy.Options{Capacity: 20, Seed: 1}))
+	}
+	rs := RunMany(tr, list, Options{Capacity: 20})
+	if rs[0].Policy != "lru" || rs[1].Policy != "fifo" || rs[2].Policy != "random" {
+		t.Errorf("order not preserved: %s %s %s", rs[0].Policy, rs[1].Policy, rs[2].Policy)
+	}
+	SortByOHR(rs)
+	if rs[0].OHR < rs[1].OHR || rs[1].OHR < rs[2].OHR {
+		t.Error("SortByOHR not descending")
+	}
+	SortByBHR(rs)
+	if rs[0].BHR < rs[len(rs)-1].BHR {
+		t.Error("SortByBHR not descending")
+	}
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"raven/internal/cache"
+	"raven/internal/stats"
+	"raven/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Capacity int64
+
+	// Net enables the latency/traffic/throughput model (nil = off).
+	Net *NetModel
+
+	// RankOrder enables rank-order error measurement against the
+	// Belady oracle: at each observed eviction the victim's true rank
+	// (0 = its next arrival really is the farthest among all cached
+	// objects) is recorded. RankOrderEvery observes every n-th
+	// eviction (1 = all; 0 disables).
+	RankOrderEvery int
+	// RankOrderMaxCached caps how many cached objects are ranked
+	// against (0 = all; large caches use sampling to stay affordable).
+	RankOrderMaxCached int
+
+	// CurvePoints, when positive, records a hit-ratio-over-time curve
+	// with that many points (Fig. 12).
+	CurvePoints int
+
+	// WarmupFrac excludes the first fraction of requests from all
+	// reported statistics (hit ratios, latency, traffic, rank errors).
+	// The cache and policy still process those requests — learning
+	// policies train during warmup — matching Appendix C.1's
+	// train-on-first-half / evaluate-on-second-half methodology.
+	WarmupFrac float64
+
+	// Seed drives the measurement sampling (not the policy).
+	Seed int64
+}
+
+// CurvePoint is one sample of the cumulative hit-ratio trajectory.
+type CurvePoint struct {
+	Requests int
+	OHR      float64
+	BHR      float64
+}
+
+// Result is everything a run measured.
+type Result struct {
+	Policy   string
+	Trace    string
+	Capacity int64
+
+	Stats cache.Stats
+	OHR   float64
+	BHR   float64
+
+	// EvictionNanos summarizes measured per-eviction compute time
+	// (Fig. 7, §6.1.1).
+	EvictionNanos stats.Summary
+	// RankErrors holds the observed rank-order errors (Fig. 3/14,
+	// Table 6).
+	RankErrors []float64
+
+	Net   NetResult
+	Curve []CurvePoint
+
+	// PolicyState is the policy instance the run used, for callers
+	// that inspect learned state afterwards (e.g. Raven's training
+	// records for Table 7).
+	PolicyState interface{}
+
+	WallTime time.Duration
+}
+
+// timedPolicy decorates a policy, measuring Victim wall time and
+// forwarding the optional Admitter/Flusher extensions.
+type timedPolicy struct {
+	cache.Policy
+	res *stats.Reservoir
+	sum time.Duration
+	n   int64
+}
+
+func (t *timedPolicy) Victim() (cache.Key, bool) {
+	start := time.Now()
+	k, ok := t.Policy.Victim()
+	d := time.Since(start)
+	t.sum += d
+	t.n++
+	t.res.Add(float64(d.Nanoseconds()))
+	return k, ok
+}
+
+func (t *timedPolicy) ShouldAdmit(req cache.Request) bool {
+	if adm, ok := t.Policy.(cache.Admitter); ok {
+		return adm.ShouldAdmit(req)
+	}
+	return true
+}
+
+func (t *timedPolicy) Flush() {
+	if f, ok := t.Policy.(cache.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Run replays tr through a cache of opts.Capacity driven by p.
+// The trace is annotated with oracle next-arrival times on demand.
+func Run(tr *trace.Trace, p cache.Policy, opts Options) *Result {
+	if !tr.Annotated() {
+		tr.AnnotateNext()
+	}
+	start := time.Now()
+	res := &Result{Policy: p.Name(), Trace: tr.Name, Capacity: opts.Capacity, PolicyState: p}
+
+	tp := &timedPolicy{Policy: p, res: stats.NewReservoir(4096, opts.Seed+1)}
+	c := cache.New(opts.Capacity, tp)
+
+	warmIdx := int(opts.WarmupFrac * float64(tr.Len()))
+
+	var oracle *Oracle
+	var now int64
+	collecting := warmIdx == 0
+	evictions := 0
+	var keyBuf []cache.Key
+	rng := stats.NewRNG(opts.Seed + 2)
+	if opts.RankOrderEvery > 0 {
+		oracle = NewOracle(tr)
+		c.SetEvictionObserver(func(victim cache.Key) {
+			if !collecting {
+				return
+			}
+			evictions++
+			if (evictions-1)%opts.RankOrderEvery != 0 {
+				return
+			}
+			keyBuf = c.Keys(keyBuf[:0])
+			res.RankErrors = append(res.RankErrors,
+				rankError(oracle, keyBuf, victim, now, opts.RankOrderMaxCached, rng))
+		})
+	}
+
+	var lat *stats.Reservoir
+	var modelled time.Duration
+	var backendBytes int64
+	var perBucketBytes []int64
+	var perBucketTime []time.Duration
+	var prevEvictSum time.Duration
+	if opts.Net != nil {
+		lat = stats.NewReservoir(8192, opts.Seed+3)
+		perBucketBytes = make([]int64, 0, 256)
+		perBucketTime = make([]time.Duration, 0, 256)
+	}
+	curveEvery := 0
+	if opts.CurvePoints > 0 {
+		curveEvery = tr.Len() / opts.CurvePoints
+		if curveEvery == 0 {
+			curveEvery = 1
+		}
+	}
+
+	bucketReqs := tr.Len()/200 + 1
+	var bucketBytes int64
+	var bucketTime time.Duration
+
+	for i := range tr.Reqs {
+		req := tr.Reqs[i]
+		now = req.Time
+		if i == warmIdx && warmIdx > 0 {
+			// End of warmup: discard everything measured so far.
+			collecting = true
+			c.ResetStats()
+			tp.res = stats.NewReservoir(4096, opts.Seed+4)
+			if opts.Net != nil {
+				lat = stats.NewReservoir(8192, opts.Seed+5)
+				modelled = 0
+				backendBytes = 0
+				perBucketBytes = perBucketBytes[:0]
+				perBucketTime = perBucketTime[:0]
+				bucketBytes, bucketTime = 0, 0
+			}
+		}
+		hit := c.Handle(req)
+		if !collecting {
+			prevEvictSum = tp.sum
+			continue
+		}
+		if opts.Net != nil {
+			// Per-request service time plus the eviction compute this
+			// request triggered (measured, not modelled).
+			evictDelta := tp.sum - prevEvictSum
+			prevEvictSum = tp.sum
+			d := opts.Net.ServiceTime(hit, req.Size) + evictDelta
+			modelled += d
+			lat.Add(float64(d.Nanoseconds()))
+			if !hit {
+				backendBytes += req.Size
+				bucketBytes += req.Size
+			}
+			bucketTime += d
+			if (i+1)%bucketReqs == 0 {
+				perBucketBytes = append(perBucketBytes, bucketBytes)
+				perBucketTime = append(perBucketTime, bucketTime)
+				bucketBytes, bucketTime = 0, 0
+			}
+		}
+		if curveEvery > 0 && (i+1)%curveEvery == 0 {
+			st := c.Stats()
+			res.Curve = append(res.Curve, CurvePoint{Requests: i + 1, OHR: st.OHR(), BHR: st.BHR()})
+		}
+	}
+	c.Flush()
+
+	res.Stats = c.Stats()
+	res.OHR = res.Stats.OHR()
+	res.BHR = res.Stats.BHR()
+	res.EvictionNanos = tp.res.Summary()
+	if opts.Net != nil {
+		res.Net = summarizeNet(lat, modelled, backendBytes, res.Stats, perBucketBytes, perBucketTime)
+	}
+	res.WallTime = time.Since(start)
+	return res
+}
+
+func summarizeNet(lat *stats.Reservoir, modelled time.Duration, backendBytes int64,
+	st cache.Stats, bucketBytes []int64, bucketTime []time.Duration) NetResult {
+	sum := lat.Summary()
+	nr := NetResult{
+		AvgLatency:   time.Duration(sum.Mean),
+		P90Latency:   time.Duration(sum.P90),
+		P99Latency:   time.Duration(sum.P99),
+		BackendBytes: backendBytes,
+		ModelledTime: modelled,
+	}
+	secs := modelled.Seconds()
+	if secs > 0 {
+		nr.AvgTrafficGbps = float64(backendBytes) * 8 / secs / 1e9
+		nr.ThroughputGbps = float64(st.ReqBytes) * 8 / secs / 1e9
+		nr.ThroughputKRPS = float64(st.Requests) / secs / 1e3
+	}
+	// P95 of per-bucket backend traffic rate.
+	rates := make([]float64, 0, len(bucketBytes))
+	for i := range bucketBytes {
+		if s := bucketTime[i].Seconds(); s > 0 {
+			rates = append(rates, float64(bucketBytes[i])*8/s/1e9)
+		}
+	}
+	if len(rates) > 0 {
+		nr.P95TrafficGbps = stats.Percentile(rates, 95)
+	}
+	return nr
+}
+
+// rankError computes the victim's true farthest-next-arrival rank
+// among the cached keys (0 = the policy matched Belady exactly). When
+// maxCached > 0 and the cache holds more keys, a uniform sample of
+// that size (always containing the victim) is ranked instead.
+func rankError(o *Oracle, keys []cache.Key, victim cache.Key, now int64, maxCached int, g *stats.RNG) float64 {
+	if maxCached > 0 && len(keys) > maxCached {
+		g.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		keys = keys[:maxCached]
+		found := false
+		for _, k := range keys {
+			if k == victim {
+				found = true
+				break
+			}
+		}
+		if !found {
+			keys[0] = victim
+		}
+	}
+	vNext := o.NextAfter(victim, now)
+	rank := 0
+	for _, k := range keys {
+		if k == victim {
+			continue
+		}
+		if o.NextAfter(k, now) > vNext {
+			rank++
+		}
+	}
+	return float64(rank)
+}
+
+// RunMany runs the same trace/capacity across several policies,
+// returning results in input order.
+func RunMany(tr *trace.Trace, ps []cache.Policy, opts Options) []*Result {
+	out := make([]*Result, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, Run(tr, p, opts))
+	}
+	return out
+}
+
+// SortByOHR sorts results by descending object hit ratio.
+func SortByOHR(rs []*Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].OHR > rs[j].OHR })
+}
+
+// SortByBHR sorts results by descending byte hit ratio.
+func SortByBHR(rs []*Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].BHR > rs[j].BHR })
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+
+	"raven/internal/cache"
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+func synth(seed int64) *trace.Trace {
+	return trace.Synthetic(trace.SynthConfig{
+		Objects: 500, Requests: 40000, Interarrival: trace.Poisson, Seed: seed,
+	})
+}
+
+func TestOracleNextAfter(t *testing.T) {
+	tr := &trace.Trace{Reqs: []trace.Request{
+		{Time: 10, Key: 1, Size: 1},
+		{Time: 20, Key: 2, Size: 1},
+		{Time: 30, Key: 1, Size: 1},
+	}}
+	o := NewOracle(tr)
+	if got := o.NextAfter(1, 10); got != 30 {
+		t.Errorf("NextAfter(1,10) = %d, want 30", got)
+	}
+	if got := o.NextAfter(1, 30); got != trace.NoNext {
+		t.Errorf("NextAfter(1,30) = %d, want NoNext", got)
+	}
+	if got := o.NextAfter(99, 0); got != trace.NoNext {
+		t.Errorf("NextAfter(unknown) = %d, want NoNext", got)
+	}
+}
+
+func TestRunMatchesCacheStats(t *testing.T) {
+	tr := synth(1)
+	res := Run(tr, policy.MustNew("lru", policy.Options{Capacity: 100}), Options{Capacity: 100})
+	if res.Stats.Requests != int64(tr.Len()) {
+		t.Errorf("requests %d != trace %d", res.Stats.Requests, tr.Len())
+	}
+	if res.OHR <= 0 || res.OHR >= 1 {
+		t.Errorf("implausible OHR %v", res.OHR)
+	}
+	if res.Stats.Hits+res.Stats.Admissions+res.Stats.Rejections != res.Stats.Requests {
+		t.Errorf("hits+admissions+rejections should equal requests: %+v", res.Stats)
+	}
+}
+
+func TestBeladyIsUpperBound(t *testing.T) {
+	tr := synth(2)
+	opts := Options{Capacity: 100}
+	belady := Run(tr, policy.MustNew("belady", policy.Options{Capacity: 100}), opts)
+	for _, name := range []string{"lru", "lfu", "random", "fifo", "hyperbolic", "lhd"} {
+		r := Run(tr, policy.MustNew(name, policy.Options{Capacity: 100, Seed: 3}), opts)
+		if r.OHR > belady.OHR+1e-9 {
+			t.Errorf("%s OHR %.4f exceeds Belady %.4f — Belady must be optimal", name, r.OHR, belady.OHR)
+		}
+	}
+}
+
+func TestBeladyRankErrorIsZero(t *testing.T) {
+	tr := synth(3)
+	res := Run(tr, policy.MustNew("belady", policy.Options{Capacity: 100}), Options{
+		Capacity:       100,
+		RankOrderEvery: 10,
+	})
+	if len(res.RankErrors) == 0 {
+		t.Fatal("no rank errors observed")
+	}
+	for _, e := range res.RankErrors {
+		if e != 0 {
+			t.Fatalf("Belady produced nonzero rank error %v", e)
+		}
+	}
+}
+
+func TestRandomHasLargerRankErrorThanBelady(t *testing.T) {
+	tr := synth(4)
+	opts := Options{Capacity: 100, RankOrderEvery: 5}
+	rnd := Run(tr, policy.MustNew("random", policy.Options{Capacity: 100, Seed: 1}), opts)
+	if len(rnd.RankErrors) == 0 {
+		t.Fatal("no rank errors for random")
+	}
+	mean := 0.0
+	for _, e := range rnd.RankErrors {
+		mean += e
+	}
+	mean /= float64(len(rnd.RankErrors))
+	if mean < 5 {
+		t.Errorf("random policy mean rank error %.2f suspiciously small", mean)
+	}
+}
+
+func TestNetModelLatencyOrdering(t *testing.T) {
+	cdn := CDNModel()
+	if cdn.ServiceTime(true, 1000) >= cdn.ServiceTime(false, 1000) {
+		t.Error("CDN hit must be faster than miss")
+	}
+	mem := InMemoryModel()
+	if mem.ServiceTime(true, 100) >= mem.ServiceTime(false, 100) {
+		t.Error("in-memory hit must be faster than miss")
+	}
+}
+
+func TestNetResultHigherHitRatioLowerLatency(t *testing.T) {
+	tr := synth(5)
+	opts := Options{Capacity: 100, Net: InMemoryModel()}
+	lruRes := Run(tr, policy.MustNew("lru", policy.Options{Capacity: 100}), opts)
+	belRes := Run(tr, policy.MustNew("belady", policy.Options{Capacity: 100}), opts)
+	if belRes.Net.AvgLatency >= lruRes.Net.AvgLatency {
+		t.Errorf("Belady latency %v should beat LRU %v", belRes.Net.AvgLatency, lruRes.Net.AvgLatency)
+	}
+	if belRes.Net.ThroughputKRPS <= lruRes.Net.ThroughputKRPS {
+		t.Errorf("Belady throughput %.2f should beat LRU %.2f",
+			belRes.Net.ThroughputKRPS, lruRes.Net.ThroughputKRPS)
+	}
+	if belRes.Net.BackendBytes >= lruRes.Net.BackendBytes {
+		t.Errorf("Belady backend bytes %d should be below LRU %d",
+			belRes.Net.BackendBytes, lruRes.Net.BackendBytes)
+	}
+}
+
+func TestCurveRecorded(t *testing.T) {
+	tr := synth(6)
+	res := Run(tr, policy.MustNew("lru", policy.Options{Capacity: 100}), Options{
+		Capacity: 100, CurvePoints: 20,
+	})
+	if len(res.Curve) < 15 {
+		t.Fatalf("expected ~20 curve points, got %d", len(res.Curve))
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.Requests != tr.Len() {
+		t.Errorf("last curve point at %d, want %d", last.Requests, tr.Len())
+	}
+}
+
+func TestEvictionTimeMeasured(t *testing.T) {
+	tr := synth(7)
+	res := Run(tr, policy.MustNew("lru", policy.Options{Capacity: 50}), Options{Capacity: 50})
+	if res.Stats.Evictions == 0 {
+		t.Fatal("no evictions")
+	}
+	if res.EvictionNanos.Count == 0 {
+		t.Fatal("eviction times not measured")
+	}
+}
+
+func TestRankErrorVictimNeverRequestedAgain(t *testing.T) {
+	// A victim that is never requested again is an optimal choice:
+	// rank error must be 0 regardless of the other cached objects.
+	tr := &trace.Trace{Reqs: []trace.Request{
+		{Time: 1, Key: 1, Size: 1}, {Time: 2, Key: 2, Size: 1},
+		{Time: 3, Key: 1, Size: 1},
+	}}
+	o := NewOracle(tr)
+	keys := []cache.Key{1, 2}
+	if e := rankError(o, keys, 2, 2, 0, nil); e != 0 {
+		t.Errorf("rank error %v, want 0 for never-again victim", e)
+	}
+}

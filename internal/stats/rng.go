@@ -1,0 +1,130 @@
+// Package stats provides the statistical substrate shared by the rest
+// of the repository: seeded random variate generation for the
+// distributions used by the trace generators and by Raven's Monte
+// Carlo eviction rule, summary statistics, percentiles, empirical
+// CDFs, and log-binned histograms used by the trace analyzers.
+//
+// Everything is deterministic given a seed; no package-level mutable
+// state is used, so independent generators never interfere.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the variate generators used throughout the
+// repository. It is not safe for concurrent use; create one per
+// goroutine.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Uniform returns a variate uniform in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exponential returns an exponential variate with the given mean.
+// It panics if mean <= 0.
+func (g *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exponential mean must be positive")
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Pareto returns a Pareto (type I) variate with shape alpha and the
+// given scale (minimum value). The mean is scale*alpha/(alpha-1) for
+// alpha > 1.
+func (g *RNG) Pareto(alpha, scale float64) float64 {
+	if alpha <= 0 || scale <= 0 {
+		panic("stats: Pareto parameters must be positive")
+	}
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return scale * math.Pow(u, -1/alpha)
+}
+
+// ParetoMean returns a Pareto variate with shape alpha scaled so its
+// expectation equals mean. For alpha <= 1 (infinite mean) the scale is
+// chosen so the median equals mean instead, which keeps generated
+// traces finite while preserving the heavy tail.
+func (g *RNG) ParetoMean(alpha, mean float64) float64 {
+	var scale float64
+	if alpha > 1 {
+		scale = mean * (alpha - 1) / alpha
+	} else {
+		scale = mean / math.Pow(2, 1/alpha) // median = scale * 2^(1/alpha)
+	}
+	return g.Pareto(alpha, scale)
+}
+
+// LogNormal returns exp(N(mu, sigma^2)).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Poisson returns a Poisson-distributed count with the given mean,
+// using Knuth's method for small means and a normal approximation for
+// large ones.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		v := mean + math.Sqrt(mean)*g.r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// GeometricMean returns a geometric variate (number of trials until
+// first success, >= 1) parameterized by its mean >= 1.
+func (g *RNG) GeometricMean(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return 1 + int(math.Log(u)/math.Log(1-p))
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestReadWriteFileGzipRoundTrip(t *testing.T) {
+	tr := Synthetic(SynthConfig{Objects: 30, Requests: 500, Interarrival: Uniform, Seed: 2})
+	dir := t.TempDir()
+	for _, name := range []string{"plain.txt", "packed.txt.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, tr); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.Len() != tr.Len() {
+			t.Fatalf("%s: length %d, want %d", name, got.Len(), tr.Len())
+		}
+		for i := range tr.Reqs {
+			a, b := tr.Reqs[i], got.Reqs[i]
+			if a.Time != b.Time || a.Key != b.Key || a.Size != b.Size {
+				t.Fatalf("%s: request %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/path.txt"); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"raven/internal/stats"
+)
+
+// Interarrival selects the per-object interarrival distribution of a
+// synthetic renewal workload (§3.5: Poisson, Uniform, Pareto).
+type Interarrival int
+
+// Interarrival distributions used by the paper's synthetic traces.
+const (
+	Poisson Interarrival = iota // exponential interarrivals
+	Uniform                     // U(0, 2*mean)
+	Pareto                      // heavy-tailed, mean-matched, shape 1.5
+)
+
+// String returns the distribution name.
+func (d Interarrival) String() string {
+	switch d {
+	case Poisson:
+		return "poisson"
+	case Uniform:
+		return "uniform"
+	case Pareto:
+		return "pareto"
+	default:
+		return fmt.Sprintf("interarrival(%d)", int(d))
+	}
+}
+
+// SynthConfig parameterizes a synthetic renewal-superposition trace:
+// Objects independent renewal processes whose rates follow a Zipf law,
+// merged in time order (§3.5 / Appendix C.1).
+type SynthConfig struct {
+	Name         string
+	Objects      int
+	Requests     int
+	ZipfAlpha    float64 // popularity skew; the paper uses 0.8
+	Interarrival Interarrival
+	ParetoShape  float64 // tail index for Pareto; default 1.5
+
+	// VariableSizes assigns each object a fixed size drawn from
+	// U[SizeLo, SizeHi) (the paper uses U(10, 1600)); otherwise all
+	// objects have size 1.
+	VariableSizes bool
+	SizeLo        int64
+	SizeHi        int64
+
+	Seed int64
+}
+
+func (c *SynthConfig) defaults() {
+	if c.Objects == 0 {
+		c.Objects = 1000
+	}
+	if c.Requests == 0 {
+		c.Requests = 100000
+	}
+	if c.ZipfAlpha == 0 {
+		c.ZipfAlpha = 0.8
+	}
+	if c.ParetoShape == 0 {
+		c.ParetoShape = 1.5
+	}
+	if c.SizeLo == 0 {
+		c.SizeLo = 10
+	}
+	if c.SizeHi == 0 {
+		c.SizeHi = 1600
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("synth-%s", c.Interarrival)
+	}
+}
+
+// event queue of per-object next arrivals.
+type arrival struct {
+	t   float64
+	obj int
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Synthetic generates a renewal-superposition trace per cfg. Object
+// rates are Zipf-distributed; each object's interarrival times follow
+// cfg.Interarrival with that object's mean. Timestamps are in ticks
+// with an aggregate rate of roughly one request per tick.
+func Synthetic(cfg SynthConfig) *Trace {
+	cfg.defaults()
+	g := stats.NewRNG(cfg.Seed)
+	z := stats.NewZipf(cfg.Objects, cfg.ZipfAlpha)
+
+	means := make([]float64, cfg.Objects)
+	for i := range means {
+		// Aggregate rate ~1 req/tick: object i's rate is its Zipf share.
+		means[i] = 1 / z.Prob(i)
+	}
+	sizes := make([]int64, cfg.Objects)
+	for i := range sizes {
+		if cfg.VariableSizes {
+			sizes[i] = cfg.SizeLo + g.Int63n(cfg.SizeHi-cfg.SizeLo)
+		} else {
+			sizes[i] = 1
+		}
+	}
+
+	draw := func(obj int) float64 {
+		mean := means[obj]
+		switch cfg.Interarrival {
+		case Poisson:
+			return g.Exponential(mean)
+		case Uniform:
+			return g.Uniform(0, 2*mean)
+		case Pareto:
+			return g.ParetoMean(cfg.ParetoShape, mean)
+		default:
+			panic("trace: unknown interarrival distribution")
+		}
+	}
+
+	h := make(arrivalHeap, 0, cfg.Objects)
+	for i := 0; i < cfg.Objects; i++ {
+		// Stagger initial arrivals to avoid a synchronized start.
+		heap.Push(&h, arrival{t: g.Float64() * means[i], obj: i})
+	}
+
+	tr := &Trace{Name: cfg.Name, Reqs: make([]Request, 0, cfg.Requests)}
+	for len(tr.Reqs) < cfg.Requests {
+		a := heap.Pop(&h).(arrival)
+		tr.Reqs = append(tr.Reqs, Request{
+			Time: int64(math.Round(a.t * 16)), // 16 sub-ticks reduce timestamp ties
+			Key:  Key(a.obj),
+			Size: sizes[a.obj],
+			Next: NoNext,
+		})
+		heap.Push(&h, arrival{t: a.t + draw(a.obj), obj: a.obj})
+	}
+	return tr
+}
+
+// SyntheticTriple generates the paper's three §3.5 traces (Poisson,
+// Uniform, Pareto) with shared parameters.
+func SyntheticTriple(objects, requests int, variableSizes bool, seed int64) []*Trace {
+	out := make([]*Trace, 0, 3)
+	for _, d := range []Interarrival{Poisson, Uniform, Pareto} {
+		out = append(out, Synthetic(SynthConfig{
+			Objects:       objects,
+			Requests:      requests,
+			Interarrival:  d,
+			VariableSizes: variableSizes,
+			Seed:          seed + int64(d)*7919,
+		}))
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package raven
+
+import (
+	"io"
+
+	"raven/internal/cache"
+	"raven/internal/core"
+	"raven/internal/experiments"
+	"raven/internal/policy"
+	"raven/internal/sim"
+	"raven/internal/trace"
+)
+
+// Core request/trace types.
+type (
+	// Key identifies a cached object.
+	Key = trace.Key
+	// Request is one object request in a trace.
+	Request = trace.Request
+	// Trace is a time-ordered request sequence.
+	Trace = trace.Trace
+	// SynthConfig parameterizes synthetic renewal workloads (§3.5).
+	SynthConfig = trace.SynthConfig
+	// ProductionConfig parameterizes production-like workloads.
+	ProductionConfig = trace.ProductionConfig
+	// Interarrival selects a synthetic interarrival distribution.
+	Interarrival = trace.Interarrival
+)
+
+// Synthetic interarrival distributions.
+const (
+	Poisson = trace.Poisson
+	Uniform = trace.Uniform
+	Pareto  = trace.Pareto
+)
+
+// Production-like workload presets standing in for the paper's traces.
+const (
+	Wiki18      = trace.Wiki18
+	Wiki19      = trace.Wiki19
+	Wikimedia19 = trace.Wikimedia19
+	TwitterC17  = trace.TwitterC17
+	TwitterC29  = trace.TwitterC29
+	TwitterC52  = trace.TwitterC52
+)
+
+// Cache and policy types.
+type (
+	// Policy is the eviction-policy interface every algorithm in this
+	// repository implements.
+	Policy = cache.Policy
+	// Cache couples a Policy with capacity accounting.
+	Cache = cache.Cache
+	// Stats holds hit/byte counters.
+	Stats = cache.Stats
+	// PolicyOptions configures construction of named policies.
+	PolicyOptions = policy.Options
+	// RavenConfig configures the Raven policy itself.
+	RavenConfig = core.Config
+	// Raven is the paper's learning eviction policy.
+	Raven = core.Raven
+	// Goal selects Raven's optimization target (OHR or BHR).
+	Goal = core.Goal
+)
+
+// Raven optimization goals (§3.4).
+const (
+	GoalBHR = core.GoalBHR
+	GoalOHR = core.GoalOHR
+)
+
+// Simulation types.
+type (
+	// SimOptions configures a simulation run.
+	SimOptions = sim.Options
+	// SimResult is a run's measurements.
+	SimResult = sim.Result
+	// NetModel is the §5.1.4 latency/traffic model.
+	NetModel = sim.NetModel
+)
+
+// SyntheticTrace generates a synthetic renewal-superposition workload.
+func SyntheticTrace(cfg SynthConfig) *Trace { return trace.Synthetic(cfg) }
+
+// ProductionTrace generates one of the six production-like workloads
+// at the given scale (1.0 = default laptop scale).
+func ProductionTrace(preset trace.ProductionPreset, scale float64, seed int64) *Trace {
+	return trace.ProductionTrace(preset, scale, seed)
+}
+
+// NewRaven builds the paper's policy. cfg.TrainWindow must be set; see
+// RavenConfig for the remaining knobs and their §4/§5.1.3 defaults.
+func NewRaven(cfg RavenConfig) *Raven { return core.New(cfg) }
+
+// NewPolicy builds any registered policy ("lru", "lrb", "lhr",
+// "belady", "raven", ...) by name.
+func NewPolicy(name string, opts PolicyOptions) (Policy, error) {
+	return policy.New(name, opts)
+}
+
+// MustNewPolicy is NewPolicy for static names; it panics on error.
+func MustNewPolicy(name string, opts PolicyOptions) Policy {
+	return policy.MustNew(name, opts)
+}
+
+// PolicyNames lists every registered policy.
+func PolicyNames() []string { return policy.Names() }
+
+// NewCache couples a policy with a byte-capacity cache.
+func NewCache(capacity int64, p Policy) *Cache { return cache.New(capacity, p) }
+
+// Simulate replays a trace through a fresh cache and returns the
+// measurements.
+func Simulate(tr *Trace, p Policy, opts SimOptions) *SimResult {
+	return sim.Run(tr, p, opts)
+}
+
+// CDNNetModel returns the paper's CDN latency model (10 ms edge RTT,
+// 100 ms origin RTT, 8 Gbps).
+func CDNNetModel() *NetModel { return sim.CDNModel() }
+
+// InMemoryNetModel returns the paper's in-memory latency model (100 µs
+// memory, 10 ms database).
+func InMemoryNetModel() *NetModel { return sim.InMemoryModel() }
+
+// Experiment regenerates one of the paper's tables or figures by ID
+// (e.g. "fig9", "tab6"; see ExperimentIDs) and prints it to w.
+func Experiment(id string, quick bool, w io.Writer) error {
+	r := experiments.NewRunner(experiments.Config{Quick: quick})
+	rep, err := r.Run(id)
+	if err != nil {
+		return err
+	}
+	rep.Fprint(w)
+	return nil
+}
+
+// ExperimentIDs lists every reproducible table/figure.
+func ExperimentIDs() []string { return append([]string(nil), experiments.All...) }
