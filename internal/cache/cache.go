@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"raven/internal/trace"
 )
@@ -128,10 +129,10 @@ func (c *Cache) SetEvictionObserver(fn func(victim Key)) { c.observer = fn }
 // It panics if capacity is not positive or policy is nil.
 func New(capacity int64, policy Policy) *Cache {
 	if capacity <= 0 {
-		panic("cache: capacity must be positive")
+		panic("cache: capacity must be positive") //lint:allow no-panic non-positive capacity is a construction-time programmer error
 	}
 	if policy == nil {
-		panic("cache: nil policy")
+		panic("cache: nil policy") //lint:allow no-panic nil policy is a construction-time programmer error
 	}
 	return &Cache{
 		capacity: capacity,
@@ -166,12 +167,15 @@ func (c *Cache) Contains(key Key) bool {
 	return ok
 }
 
-// Keys appends all cached keys to dst and returns it. The order is
-// map-iteration order; callers needing determinism must sort.
+// Keys appends all cached keys to dst in ascending order and returns
+// it. Sorting keeps consumers deterministic: the simulator's
+// rank-order sampling seeds its shuffle, which only helps if the input
+// order is itself reproducible.
 func (c *Cache) Keys(dst []Key) []Key {
 	for k := range c.entries {
 		dst = append(dst, k)
 	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
 	return dst
 }
 
@@ -216,7 +220,7 @@ func (c *Cache) Handle(req Request) bool {
 func (c *Cache) evict(key Key) {
 	e, ok := c.entries[key]
 	if !ok {
-		panic(fmt.Sprintf("cache: policy %q returned non-resident victim %d", c.policy.Name(), key))
+		panic(fmt.Sprintf("cache: policy %q returned non-resident victim %d", c.policy.Name(), key)) //lint:allow no-panic a policy returning a non-resident victim breaks the engine contract; unrecoverable
 	}
 	if c.observer != nil {
 		c.observer(key)

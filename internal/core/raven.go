@@ -68,7 +68,7 @@ type TrainRecord struct {
 func New(cfg Config) *Raven {
 	cfg.defaults()
 	if cfg.TrainWindow <= 0 {
-		panic("core: Config.TrainWindow must be positive")
+		panic("core: Config.TrainWindow must be positive") //lint:allow no-panic invalid Config is a construction-time programmer error
 	}
 	r := &Raven{
 		cfg:   cfg,
@@ -187,7 +187,7 @@ func (r *Raven) train() {
 	}
 	if r.net == nil || r.cfg.ColdStart {
 		cfg := r.cfg.Net
-		if cfg.TimeScale == 0 {
+		if cfg.TimeScale == 0 { //lint:allow float-equal zero TimeScale means unset; derive the default
 			cfg.TimeScale = meanTau(data, float64(r.cfg.TrainWindow)/1000)
 		}
 		old := r.net

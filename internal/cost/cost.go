@@ -31,7 +31,7 @@ type Scenario struct {
 
 // Savings returns Raven's relative cost reduction.
 func (s Scenario) Savings() float64 {
-	if s.LRUMonthly == 0 {
+	if s.LRUMonthly == 0 { //lint:allow float-equal exact zero baseline guards the division below
 		return 0
 	}
 	return 1 - s.RavenMonthly/s.LRUMonthly

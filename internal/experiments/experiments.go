@@ -36,7 +36,7 @@ type Config struct {
 }
 
 func (c *Config) defaults() {
-	if c.Scale == 0 {
+	if c.Scale == 0 { //lint:allow float-equal zero Scale means unset; fill the default
 		c.Scale = 1
 	}
 	if c.Seed == 0 {

@@ -23,6 +23,13 @@ const (
 	largeFrac = 0.08
 )
 
+// prodSizes pairs the two evaluated cache sizes with their report
+// labels, so callers never compare floats to recover the label.
+var prodSizes = []struct {
+	lbl  string
+	frac float64
+}{{"small", smallFrac}, {"large", largeFrac}}
+
 // prodPolicies are the eight best SOTA algorithms of Fig. 9 plus
 // Raven's two goal variants.
 var prodPolicies = []string{
@@ -67,11 +74,8 @@ func (r *Runner) Fig9() *Report {
 	rep := &Report{ID: "fig9", Title: "OHR/BHR on production-like traces (Fig. 9)"}
 	rep.Header = []string{"trace", "size", "policy", "OHR", "BHR"}
 	for _, p := range trace.AllProductionPresets {
-		for _, frac := range []float64{smallFrac, largeFrac} {
-			lbl := "small"
-			if frac == largeFrac {
-				lbl = "large"
-			}
+		for _, sz := range prodSizes {
+			lbl, frac := sz.lbl, sz.frac
 			for _, name := range prodPolicies {
 				res := r.prodRun(p, name, frac)
 				rep.Add(string(p), lbl, name, res.OHR, res.BHR)
@@ -204,11 +208,8 @@ func (r *Runner) Table7() *Report {
 	rep := &Report{ID: "tab7", Title: "Raven training dataset sizes (Table 7)"}
 	rep.Header = []string{"trace", "size", "windows", "avgObjects", "avgSamples"}
 	for _, p := range trace.AllProductionPresets {
-		for _, frac := range []float64{smallFrac, largeFrac} {
-			lbl := "small"
-			if frac == largeFrac {
-				lbl = "large"
-			}
+		for _, sz := range prodSizes {
+			lbl, frac := sz.lbl, sz.frac
 			res := r.prodRun(p, "raven", frac)
 			rv, ok := res.PolicyState.(*core.Raven)
 			if !ok || len(rv.TrainStats) == 0 {

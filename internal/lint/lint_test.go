@@ -1,0 +1,582 @@
+package lint
+
+import (
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture module root; it never exists on disk, positions are
+// computed purely from the fileset.
+const fixtureRoot = "/ravenlint-fixture"
+
+var testStd struct {
+	once sync.Once
+	fset *token.FileSet
+	imp  types.Importer
+	mu   sync.Mutex
+}
+
+// loadFixture type-checks one synthetic source file as its own
+// package, placed at relfile inside the fixture module.
+func loadFixture(t *testing.T, relfile, src string) *Package {
+	t.Helper()
+	testStd.once.Do(func() {
+		testStd.fset = token.NewFileSet()
+		testStd.imp = importer.ForCompiler(testStd.fset, "source", nil)
+	})
+	testStd.mu.Lock()
+	defer testStd.mu.Unlock()
+	f, err := parser.ParseFile(testStd.fset, filepath.Join(fixtureRoot, relfile), src,
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	pkg := &Package{
+		ImportPath: "fixture/" + path.Dir(relfile),
+		RelDir:     path.Dir(relfile),
+		Name:       f.Name.Name,
+		ModuleRoot: fixtureRoot,
+		Fset:       testStd.fset,
+	}
+	pkg.Files = append(pkg.Files, f)
+	pkg.check(testStd.imp, nil)
+	for _, e := range pkg.TypeErrs {
+		t.Fatalf("fixture does not type-check: %v", e)
+	}
+	return pkg
+}
+
+// lintFixture runs the full default rule set (with pragma handling)
+// over one fixture file and returns each finding as "line:[rule-id]".
+func lintFixture(t *testing.T, relfile, src string) []string {
+	t.Helper()
+	p := loadFixture(t, relfile, src)
+	var out []string
+	for _, f := range Run([]*Package{p}, DefaultRules()) {
+		out = append(out, fmt.Sprintf("%d:[%s]", f.Pos.Line, f.Rule))
+	}
+	return out
+}
+
+func TestRules(t *testing.T) {
+	tests := []struct {
+		name    string
+		relfile string // defaults to internal/policy/fix/fix.go
+		src     string
+		want    []string // "line:[rule-id]", exact set in order
+	}{
+		// ---- rand-global ----
+		{
+			name: "global rand functions are flagged",
+			src: `package fix
+import "math/rand"
+func f() int { return rand.Intn(5) }
+func g() float64 { return rand.Float64() }
+`,
+			want: []string{"3:[rand-global]", "4:[rand-global]"},
+		},
+		{
+			name: "seeded rand constructor is allowed",
+			src: `package fix
+import "math/rand"
+func f() int { return rand.New(rand.NewSource(42)).Intn(5) }
+`,
+		},
+		{
+			name: "time-seeded rand source is flagged",
+			src: `package fix
+import (
+	"math/rand"
+	"time"
+)
+func f() *rand.Rand { return rand.New(rand.NewSource(time.Now().UnixNano())) }
+`,
+			want: []string{"6:[rand-global]", "6:[rand-global]", "6:[wall-clock]"},
+		},
+		{
+			name:    "the stats RNG wrapper file is exempt",
+			relfile: "internal/stats/rng.go",
+			src: `package stats
+import "math/rand"
+func f() int { return rand.Intn(5) }
+`,
+		},
+
+		// ---- wall-clock ----
+		{
+			name: "time.Now in policy code is flagged",
+			src: `package fix
+import "time"
+func f() int64 { return time.Now().UnixNano() }
+`,
+			want: []string{"3:[wall-clock]"},
+		},
+		{
+			name:    "time.Now in experiments is allowed",
+			relfile: "internal/experiments/bench.go",
+			src: `package experiments
+import "time"
+func f() time.Time { return time.Now() }
+`,
+		},
+		{
+			name:    "time.Now in package main is allowed",
+			relfile: "cmd/tool/main.go",
+			src: `package main
+import "time"
+func main() { _ = time.Now() }
+`,
+		},
+
+		// ---- map-iter-order ----
+		{
+			name: "unsorted append from map range is flagged",
+			src: `package fix
+func f(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			want: []string{"5:[map-iter-order]"},
+		},
+		{
+			name: "sorted append from map range is allowed",
+			src: `package fix
+import "sort"
+func f(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+`,
+		},
+		{
+			name: "printing inside map range is flagged",
+			src: `package fix
+import "fmt"
+func f(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+			want: []string{"5:[map-iter-order]"},
+		},
+		{
+			name: "conditional key selection (eviction victim) is flagged",
+			src: `package fix
+func victim(m map[uint64]float64) uint64 {
+	var best uint64
+	lo := 1e300
+	for k, pri := range m {
+		if pri < lo {
+			lo = pri
+			best = k
+		}
+	}
+	return best
+}
+`,
+			want: []string{"8:[map-iter-order]"},
+		},
+		{
+			name: "commutative accumulation over a map is allowed",
+			src: `package fix
+func f(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`,
+		},
+
+		// ---- lock-by-value ----
+		{
+			name: "mutex parameter by value is flagged",
+			src: `package fix
+import "sync"
+func f(mu sync.Mutex) { mu.Lock() }
+func g(wg sync.WaitGroup) { wg.Wait() }
+`,
+			want: []string{"3:[lock-by-value]", "4:[lock-by-value]"},
+		},
+		{
+			name: "mutex pointer parameter and named field are allowed",
+			src: `package fix
+import "sync"
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+func f(mu *sync.Mutex) { mu.Lock() }
+`,
+		},
+		{
+			name: "embedded mutex and lock-bearing struct param are flagged",
+			src: `package fix
+import "sync"
+type bad struct {
+	sync.Mutex
+	n int
+}
+type holder struct{ wg sync.WaitGroup }
+func f(h holder) { h.wg.Wait() }
+`,
+			want: []string{"4:[lock-by-value]", "8:[lock-by-value]"},
+		},
+
+		// ---- go-loop-capture ----
+		{
+			name: "goroutine capturing range variable is flagged",
+			src: `package fix
+func f(xs []int, sink func(int)) {
+	for _, x := range xs {
+		go func() { sink(x) }()
+	}
+}
+`,
+			want: []string{"4:[go-loop-capture]"},
+		},
+		{
+			name: "goroutine receiving loop variable as argument is allowed",
+			src: `package fix
+func f(xs []int, sink func(int)) {
+	for _, x := range xs {
+		go func(x int) { sink(x) }(x)
+	}
+	for i := 0; i < len(xs); i++ {
+		go func(i int) { sink(i) }(i)
+	}
+}
+`,
+		},
+		{
+			name: "three-clause loop variable capture is flagged",
+			src: `package fix
+func f(sink func(int)) {
+	for i := 0; i < 4; i++ {
+		go func() { sink(i) }()
+	}
+}
+`,
+			want: []string{"4:[go-loop-capture]"},
+		},
+
+		// ---- unsynced-counter ----
+		{
+			name: "unguarded shared counter increment is flagged",
+			src: `package fix
+func f() {
+	n := 0
+	total := 0
+	go func() { n++ }()
+	go func() { total += 2 }()
+	_ = n
+	_ = total
+}
+`,
+			want: []string{"5:[unsynced-counter]", "6:[unsynced-counter]"},
+		},
+		{
+			name: "mutex-guarded counter and local counter are allowed",
+			src: `package fix
+import "sync"
+func f() {
+	var mu sync.Mutex
+	n := 0
+	go func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}()
+	go func() {
+		local := 0
+		local++
+		_ = local
+	}()
+	_ = n
+}
+`,
+		},
+		{
+			name: "atomic counter is allowed",
+			src: `package fix
+import "sync/atomic"
+func f() {
+	var n atomic.Int64
+	go func() { n.Add(1) }()
+	_ = n.Load()
+}
+`,
+		},
+
+		// ---- no-panic ----
+		{
+			name: "panic in library code is flagged",
+			src: `package fix
+func f(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+`,
+			want: []string{"4:[no-panic]"},
+		},
+		{
+			name: "pragma-annotated panic is allowed",
+			src: `package fix
+func f(n int) {
+	if n < 0 {
+		panic("negative") //lint:allow no-panic construction-time invariant
+	}
+}
+`,
+		},
+		{
+			name:    "nn shape-check panics are exempt",
+			relfile: "internal/nn/shapes.go",
+			src: `package nn
+func checkShape(a, b int) {
+	if a != b {
+		panic("nn: shape mismatch")
+	}
+}
+`,
+		},
+		{
+			name:    "panic in package main is allowed",
+			relfile: "cmd/tool/main.go",
+			src: `package main
+func main() { panic("usage") }
+`,
+		},
+
+		// ---- float-equal ----
+		{
+			name: "exact float comparison is flagged",
+			src: `package fix
+func eq(a, b float64) bool { return a == b }
+func ne(a, b float32) bool { return a != b }
+`,
+			want: []string{"2:[float-equal]", "3:[float-equal]"},
+		},
+		{
+			name: "integer comparison and ordered float comparison are allowed",
+			src: `package fix
+func f(a, b int) bool { return a == b }
+func g(a, b float64) bool { return a < b }
+`,
+		},
+		{
+			name: "pragma on the preceding line suppresses",
+			src: `package fix
+func f(a float64) bool {
+	//lint:allow float-equal zero means unset
+	return a == 0
+}
+`,
+		},
+
+		// ---- unchecked-error ----
+		{
+			name: "dropped bufio flush error is flagged",
+			src: `package fix
+import (
+	"bufio"
+	"io"
+)
+func f(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.Flush()
+}
+`,
+			want: []string{"8:[unchecked-error]"},
+		},
+		{
+			name: "dropped os and encoding errors are flagged",
+			src: `package fix
+import (
+	"encoding/json"
+	"os"
+)
+func f(fp *os.File, enc *json.Encoder) {
+	os.Remove("x")
+	enc.Encode(42)
+	fp.Sync()
+}
+`,
+			want: []string{"7:[unchecked-error]", "8:[unchecked-error]", "9:[unchecked-error]"},
+		},
+		{
+			name: "explicit discard and deferred close are allowed",
+			src: `package fix
+import (
+	"bufio"
+	"io"
+	"os"
+)
+func f(w io.Writer, fp *os.File) {
+	bw := bufio.NewWriter(w)
+	_ = bw.Flush()
+	defer fp.Close()
+}
+`,
+		},
+
+		// ---- pragma-syntax ----
+		{
+			name: "pragma without a reason is itself a finding",
+			src: `package fix
+func f(a float64) bool {
+	return a == 0 //lint:allow float-equal
+}
+`,
+			want: []string{"3:[float-equal]", "3:[pragma-syntax]"},
+		},
+		{
+			name: "pragma naming an unknown rule is a finding",
+			src: `package fix
+//lint:allow no-such-rule because reasons
+func f() {}
+`,
+			want: []string{"2:[pragma-syntax]"},
+		},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			relfile := tt.relfile
+			if relfile == "" {
+				relfile = "internal/policy/fix/fix.go"
+			}
+			got := lintFixture(t, relfile, tt.src)
+			if len(got) != len(tt.want) {
+				t.Fatalf("findings mismatch:\n got: %v\nwant: %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("finding %d mismatch:\n got: %v\nwant: %v", i, got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// TestFindingFormat pins the exact "file:line: [rule-id] message"
+// output contract that scripts/verify.sh and CI grep for.
+func TestFindingFormat(t *testing.T) {
+	p := loadFixture(t, "internal/policy/fmtcheck/fmtcheck.go", `package fmtcheck
+func f(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+`)
+	findings := Run([]*Package{p}, DefaultRules())
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	got := findings[0].String()
+	wantPrefix := "internal/policy/fmtcheck/fmtcheck.go:4: [no-panic] "
+	if !strings.HasPrefix(got, wantPrefix) {
+		t.Fatalf("finding format %q does not start with %q", got, wantPrefix)
+	}
+}
+
+// TestRuleIDCount guards the acceptance criterion of at least 8
+// distinct rule IDs.
+func TestRuleIDCount(t *testing.T) {
+	ids := RuleIDs(DefaultRules())
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate rule ID %q", id)
+		}
+		seen[id] = true
+	}
+	if len(ids) < 8 {
+		t.Fatalf("want >= 8 rule IDs, got %d: %v", len(ids), ids)
+	}
+}
+
+// TestLoadModule exercises the module loader end to end on a small
+// synthetic module with an internal dependency edge.
+func TestLoadModule(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		full := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/tiny\n\ngo 1.22\n")
+	write("internal/base/base.go", `package base
+func Answer() int { return 42 }
+`)
+	write("internal/top/top.go", `package top
+import "example.com/tiny/internal/base"
+func Double() int { return 2 * base.Answer() }
+`)
+	write("internal/top/skipme_test.go", `package top
+import "testing"
+func TestNothing(t *testing.T) {}
+`)
+
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(mod.Pkgs))
+	}
+	// Dependency order: base before top.
+	if mod.Pkgs[0].ImportPath != "example.com/tiny/internal/base" ||
+		mod.Pkgs[1].ImportPath != "example.com/tiny/internal/top" {
+		t.Fatalf("bad order: %s, %s", mod.Pkgs[0].ImportPath, mod.Pkgs[1].ImportPath)
+	}
+	for _, p := range mod.Pkgs {
+		if len(p.TypeErrs) > 0 {
+			t.Fatalf("%s: type errors: %v", p.ImportPath, p.TypeErrs)
+		}
+	}
+	// Pattern selection.
+	sel, err := mod.Select([]string{"./internal/top"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].RelDir != "internal/top" {
+		t.Fatalf("bad selection: %+v", sel)
+	}
+	if _, err := mod.Select([]string{"./nonexistent"}); err == nil {
+		t.Fatal("want error for unmatched pattern")
+	}
+	// Lint the synthetic module: it is clean.
+	all, err := mod.Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := Run(all, DefaultRules()); len(fs) != 0 {
+		t.Fatalf("synthetic module not clean: %v", fs)
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strings"
+)
+
+// pragmaRuleID is the pseudo-rule under which malformed or unknown
+// suppression pragmas are reported.
+const pragmaRuleID = "pragma-syntax"
+
+const pragmaPrefix = "lint:allow"
+
+// pragmaSet records, per module-relative file and line, which rule IDs
+// are suppressed there.
+type pragmaSet map[string]map[int]map[string]bool
+
+// suppresses reports whether f is covered by a pragma on its own line
+// or the line directly above.
+func (ps pragmaSet) suppresses(f Finding) bool {
+	lines, ok := ps[f.Pos.Filename]
+	if !ok {
+		return false
+	}
+	return lines[f.Pos.Line][f.Rule] || lines[f.Pos.Line-1][f.Rule]
+}
+
+// collectPragmas scans all comments of p for //lint:allow pragmas.
+// A pragma must name a known rule and give a reason; violations are
+// returned as pragma-syntax findings so suppressions stay documented.
+func collectPragmas(p *Package, known map[string]bool) (pragmaSet, []Finding) {
+	ps := make(pragmaSet)
+	var bad []Finding
+	for _, f := range p.Files {
+		rel := p.relFile(f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, pragmaPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, pragmaPrefix))
+				line := p.Fset.Position(c.Slash).Line
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, p.finding(pragmaRuleID, c.Slash,
+						"pragma needs a rule ID and a reason: //lint:allow <rule-id> <reason>"))
+				case !known[fields[0]]:
+					bad = append(bad, p.finding(pragmaRuleID, c.Slash,
+						"pragma names unknown rule %q", fields[0]))
+				case len(fields) < 2:
+					bad = append(bad, p.finding(pragmaRuleID, c.Slash,
+						"pragma for %q is missing its reason", fields[0]))
+				default:
+					if ps[rel] == nil {
+						ps[rel] = make(map[int]map[string]bool)
+					}
+					if ps[rel][line] == nil {
+						ps[rel][line] = make(map[string]bool)
+					}
+					ps[rel][line][fields[0]] = true
+				}
+			}
+		}
+	}
+	return ps, bad
+}

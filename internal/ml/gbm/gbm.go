@@ -29,13 +29,13 @@ func (c *Config) defaults() {
 	if c.MaxDepth == 0 {
 		c.MaxDepth = 4
 	}
-	if c.LearningRate == 0 {
+	if c.LearningRate == 0 { //lint:allow float-equal zero LearningRate means unset; fill the default
 		c.LearningRate = 0.1
 	}
 	if c.MinLeaf == 0 {
 		c.MinLeaf = 20
 	}
-	if c.Subsample == 0 {
+	if c.Subsample == 0 { //lint:allow float-equal zero Subsample means unset; fill the default
 		c.Subsample = 0.8
 	}
 	if c.Bins == 0 {
@@ -95,7 +95,7 @@ func (m *Model) Predict(x []float64) float64 {
 func Train(X [][]float64, y []float64, cfg Config) *Model {
 	cfg.defaults()
 	if len(X) == 0 || len(X) != len(y) {
-		panic("gbm: bad training data")
+		panic("gbm: bad training data") //lint:allow no-panic mismatched training matrices are a programmer error
 	}
 	nf := len(X[0])
 	m := &Model{cfg: cfg, bias: stats.Mean(y)}

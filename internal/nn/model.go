@@ -30,7 +30,7 @@ func (c *Config) defaults() {
 	if c.K == 0 {
 		c.K = 8
 	}
-	if c.TimeScale == 0 {
+	if c.TimeScale == 0 { //lint:allow float-equal zero TimeScale means unset; fill the default
 		c.TimeScale = 1
 	}
 }

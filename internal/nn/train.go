@@ -30,7 +30,7 @@ type TrainConfig struct {
 }
 
 func (c *TrainConfig) defaults() {
-	if c.LR == 0 {
+	if c.LR == 0 { //lint:allow float-equal zero LR means unset; fill the default
 		c.LR = 1e-3
 	}
 	if c.MaxEpochs == 0 {
@@ -39,7 +39,7 @@ func (c *TrainConfig) defaults() {
 	if c.Patience == 0 {
 		c.Patience = 8
 	}
-	if c.ValFrac == 0 {
+	if c.ValFrac == 0 { //lint:allow float-equal zero ValFrac means unset; fill the default
 		c.ValFrac = 0.2
 	}
 	if c.Batch == 0 {

@@ -40,7 +40,7 @@ func matTVecAdd(w []float64, rows, cols int, dy, dx []float64) {
 	for r := 0; r < rows; r++ {
 		row := w[r*cols : (r+1)*cols]
 		d := dy[r]
-		if d == 0 {
+		if d == 0 { //lint:allow float-equal exact zero skips dead gradient rows; bit-exact by design
 			continue
 		}
 		for c := 0; c < cols; c++ {
@@ -53,7 +53,7 @@ func matTVecAdd(w []float64, rows, cols int, dy, dx []float64) {
 func outerAdd(dw []float64, rows, cols int, dy, x []float64) {
 	for r := 0; r < rows; r++ {
 		d := dy[r]
-		if d == 0 {
+		if d == 0 { //lint:allow float-equal exact zero skips dead gradient rows; bit-exact by design
 			continue
 		}
 		row := dw[r*cols : (r+1)*cols]

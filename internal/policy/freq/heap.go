@@ -28,7 +28,7 @@ type prioHeap []*item
 
 func (h prioHeap) Len() int { return len(h) }
 func (h prioHeap) Less(i, j int) bool {
-	if h[i].pri != h[j].pri {
+	if h[i].pri != h[j].pri { //lint:allow float-equal exact tie falls through to the deterministic sequence tie-break
 		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
@@ -99,7 +99,7 @@ func NewGDSF() *Policy {
 // rank lowest (their k-distance is infinite).
 func NewLRUK(k int) *Policy {
 	if k < 1 {
-		panic("freq: LRU-K needs k >= 1")
+		panic("freq: LRU-K needs k >= 1") //lint:allow no-panic k < 1 is a construction-time programmer error
 	}
 	return newPolicy("lruk", k, func(_ *Policy, m *meta, _ int64) float64 {
 		if len(m.times) < cap(m.times) {

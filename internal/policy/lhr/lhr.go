@@ -101,12 +101,12 @@ func (p *LHR) observe(req cache.Request) {
 	if tau < 1 {
 		tau = 1
 	}
-	if r.ewmaTau == 0 {
+	if r.ewmaTau == 0 { //lint:allow float-equal exact zero marks uninitialized EWMA state
 		r.ewmaTau = tau
 	} else {
 		r.ewmaTau = (1-ewmaAlpha)*r.ewmaTau + ewmaAlpha*tau
 	}
-	if p.meanRate == 0 {
+	if p.meanRate == 0 { //lint:allow float-equal exact zero marks uninitialized EWMA state
 		p.meanRate = 1 / tau
 	} else {
 		p.meanRate = 0.999*p.meanRate + 0.001/tau
@@ -144,7 +144,7 @@ func (p *LHR) hitProb(k cache.Key) float64 {
 		if age := float64(p.now - r.lastAccess); age > 1 && 1/age < lambda {
 			lambda = 1 / age
 		}
-		if lambda == 0 {
+		if lambda == 0 { //lint:allow float-equal exact zero marks a never-estimated rate
 			age := float64(p.now-r.lastAccess) + 1
 			lambda = 0.5 / age
 		}

@@ -48,7 +48,7 @@ func (c *Config) defaults() {
 	if c.Epochs == 0 {
 		c.Epochs = 8
 	}
-	if c.LR == 0 {
+	if c.LR == 0 { //lint:allow float-equal zero LR means unset; fill the default
 		c.LR = 3e-3
 	}
 }

@@ -143,7 +143,7 @@ func New(name string, o Options) (cache.Policy, error) {
 func MustNew(name string, o Options) cache.Policy {
 	p, err := New(name, o)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow no-panic MustNew is the documented panicking variant of New
 	}
 	return p
 }

@@ -121,7 +121,7 @@ func (p *UCB) OnEvict(key cache.Key) { p.set.Remove(key) }
 // chooseArm applies UCB1 over the three criteria.
 func (p *UCB) chooseArm() int {
 	for a := 0; a < numArms; a++ {
-		if p.pulls[a] == 0 {
+		if p.pulls[a] == 0 { //lint:allow float-equal exact zero means the arm was never pulled
 			return a
 		}
 	}

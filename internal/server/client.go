@@ -29,11 +29,15 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
-// Close terminates the connection.
+// Close terminates the connection. A flush failure is reported unless
+// closing the socket fails first.
 func (c *Client) Close() error {
 	fmt.Fprintf(c.w, "QUIT\n")
-	c.w.Flush()
-	return c.conn.Close()
+	flushErr := c.w.Flush()
+	if err := c.conn.Close(); err != nil {
+		return err
+	}
+	return flushErr
 }
 
 // Get requests one object and reports whether it hit.

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"raven/internal/trace"
+)
+
+// TestServerConcurrentClients hammers one server from many goroutines
+// while another goroutine polls Stats, so `go test -race` exercises
+// every shared path: the accept loop, per-connection handlers, the
+// mutex-guarded cache, and the stats snapshot. The final request count
+// must equal the number of GETs issued — lost updates would show up
+// here even without the race detector.
+func TestServerConcurrentClients(t *testing.T) {
+	const (
+		clients     = 8
+		reqsPerConn = 200
+	)
+	srv := newTestServer(t, 1000)
+
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = srv.Stats()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < reqsPerConn; i++ {
+				key := trace.Key(c*reqsPerConn + i%50)
+				if _, err := cl.Get(key, 5, -1); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if st := srv.Stats(); st.Requests != clients*reqsPerConn {
+		t.Errorf("lost requests: got %d, want %d", st.Requests, clients*reqsPerConn)
+	}
+}

@@ -121,6 +121,13 @@ func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 4096), 1<<16)
 	w := bufio.NewWriter(conn)
+	// send writes one response line and reports whether the client is
+	// still reachable; a failed flush ends the handler (the peer is
+	// gone, and bufio makes the error sticky anyway).
+	send := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(w, format, args...)
+		return w.Flush() == nil
+	}
 	// A virtual clock for the policy: the server has no trace
 	// timestamps, so request count stands in for time.
 	for sc.Scan() {
@@ -132,15 +139,17 @@ func (s *Server) handle(conn net.Conn) {
 		switch strings.ToUpper(fields[0]) {
 		case "GET":
 			if len(fields) != 3 && len(fields) != 4 {
-				fmt.Fprintf(w, "ERR want: GET <key> <size> [time]\n")
-				w.Flush()
+				if !send("ERR want: GET <key> <size> [time]\n") {
+					return
+				}
 				continue
 			}
 			key, err1 := strconv.ParseUint(fields[1], 10, 64)
 			size, err2 := strconv.ParseInt(fields[2], 10, 64)
 			if err1 != nil || err2 != nil || size <= 0 {
-				fmt.Fprintf(w, "ERR bad key or size\n")
-				w.Flush()
+				if !send("ERR bad key or size\n") {
+					return
+				}
 				continue
 			}
 			var ts int64 = -1
@@ -148,8 +157,9 @@ func (s *Server) handle(conn net.Conn) {
 				var err error
 				ts, err = strconv.ParseInt(fields[3], 10, 64)
 				if err != nil {
-					fmt.Fprintf(w, "ERR bad time\n")
-					w.Flush()
+					if !send("ERR bad time\n") {
+						return
+					}
 					continue
 				}
 			}
@@ -157,25 +167,27 @@ func (s *Server) handle(conn net.Conn) {
 			if s.cfg.CacheDelay > 0 {
 				time.Sleep(s.cfg.CacheDelay)
 			}
-			if hit {
-				fmt.Fprintf(w, "HIT %d\n", size)
-			} else {
-				if s.cfg.OriginDelay > 0 {
-					time.Sleep(s.cfg.OriginDelay)
-				}
-				fmt.Fprintf(w, "MISS %d\n", size)
+			if !hit && s.cfg.OriginDelay > 0 {
+				time.Sleep(s.cfg.OriginDelay)
 			}
-			w.Flush()
+			verb := "MISS"
+			if hit {
+				verb = "HIT"
+			}
+			if !send("%s %d\n", verb, size) {
+				return
+			}
 		case "STATS":
 			st := s.Stats()
-			fmt.Fprintf(w, "STATS %d %d %d %d\n", st.Requests, st.Hits, st.ReqBytes, st.HitBytes)
-			w.Flush()
+			if !send("STATS %d %d %d %d\n", st.Requests, st.Hits, st.ReqBytes, st.HitBytes) {
+				return
+			}
 		case "QUIT":
-			w.Flush()
 			return
 		default:
-			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
-			w.Flush()
+			if !send("ERR unknown command %q\n", fields[0]) {
+				return
+			}
 		}
 	}
 }

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+// canonicalResult renders every deterministic field of a Result as a
+// byte-exact string: float bits are formatted with %x so two runs must
+// agree to the last ulp, not just to printed precision. Wall-clock
+// fields (WallTime, EvictionNanos) are deliberately excluded.
+func canonicalResult(r *Result) string {
+	s := fmt.Sprintf("policy=%s trace=%s cap=%d stats=%+v ohr=%x bhr=%x nrank=%d",
+		r.Policy, r.Trace, r.Capacity, r.Stats, r.OHR, r.BHR, len(r.RankErrors))
+	for _, e := range r.RankErrors {
+		s += fmt.Sprintf(" %x", e)
+	}
+	for _, cp := range r.Curve {
+		s += fmt.Sprintf(" curve(%d,%x,%x)", cp.Requests, cp.OHR, cp.BHR)
+	}
+	return s
+}
+
+// TestSimulateDeterministic is the repository's determinism regression
+// test: the full Simulate pipeline, run twice on the same seeded
+// synthetic trace, must produce byte-identical outputs (hit ratios,
+// eviction counts, rank-order errors, hit-ratio curves) for a
+// representative policy spread — Raven itself, the learned LRB
+// baseline, and LRU.
+func TestSimulateDeterministic(t *testing.T) {
+	for _, name := range []string{"raven", "lrb", "lru"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func() string {
+				tr := trace.Synthetic(trace.SynthConfig{
+					Objects: 200, Requests: 10000, Interarrival: trace.Pareto,
+					VariableSizes: true, Seed: 11,
+				})
+				tr.AnnotateNext()
+				capacity := tr.UniqueBytes() / 8
+				p := policy.MustNew(name, policy.Options{
+					Capacity: capacity, TrainWindow: tr.Duration() / 4, Seed: 7,
+				})
+				res := Run(tr, p, Options{
+					Capacity:       capacity,
+					Seed:           3,
+					RankOrderEvery: 50,
+					CurvePoints:    16,
+				})
+				return canonicalResult(res)
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Errorf("two identical runs diverged:\n run1: %s\n run2: %s", a, b)
+			}
+		})
+	}
+}
+
+// TestTraceGeneratorsDeterministic requires every seeded trace
+// generator to reproduce the exact same request sequence on a second
+// call — the precondition for everything TestSimulateDeterministic
+// checks.
+func TestTraceGeneratorsDeterministic(t *testing.T) {
+	gens := map[string]func() *trace.Trace{
+		"synthetic": func() *trace.Trace {
+			return trace.Synthetic(trace.SynthConfig{
+				Objects: 120, Requests: 6000, Interarrival: trace.Pareto,
+				VariableSizes: true, Seed: 21,
+			})
+		},
+		"synthetic-poisson": func() *trace.Trace {
+			return trace.Synthetic(trace.SynthConfig{
+				Objects: 120, Requests: 6000, Interarrival: trace.Poisson, Seed: 22,
+			})
+		},
+		"production": func() *trace.Trace {
+			return trace.ProductionTrace(trace.AllProductionPresets[0], 0.05, 23)
+		},
+	}
+	for name, gen := range gens {
+		name, gen := name, gen
+		t.Run(name, func(t *testing.T) {
+			a, b := gen(), gen()
+			if len(a.Reqs) == 0 {
+				t.Fatal("generator produced an empty trace")
+			}
+			if !reflect.DeepEqual(a.Reqs, b.Reqs) {
+				for i := range a.Reqs {
+					if a.Reqs[i] != b.Reqs[i] {
+						t.Fatalf("request %d differs: %+v vs %+v", i, a.Reqs[i], b.Reqs[i])
+					}
+				}
+				t.Fatal("traces differ")
+			}
+		})
+	}
+}

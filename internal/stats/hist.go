@@ -20,7 +20,7 @@ type LogHistogram struct {
 // underflow bucket. It panics on non-positive lo or base <= 1.
 func NewLogHistogram(lo, base float64, bins int) *LogHistogram {
 	if lo <= 0 || base <= 1 || bins <= 0 {
-		panic("stats: invalid LogHistogram parameters")
+		panic("stats: invalid LogHistogram parameters") //lint:allow no-panic invalid histogram shape is a construction-time programmer error
 	}
 	return &LogHistogram{base: base, lo: lo, weights: make([]float64, bins)}
 }
@@ -73,7 +73,7 @@ func (h *LogHistogram) Label(i int) string {
 func (h *LogHistogram) Fractions() []float64 {
 	t := h.Total()
 	out := make([]float64, len(h.weights))
-	if t == 0 {
+	if t == 0 { //lint:allow float-equal exact zero total guards the division below
 		return out
 	}
 	for i, w := range h.weights {

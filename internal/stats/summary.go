@@ -114,7 +114,7 @@ func CDF(xs []float64) []CDFPoint {
 	var pts []CDFPoint
 	n := float64(len(s))
 	for i := 0; i < len(s); i++ {
-		if i+1 < len(s) && s[i+1] == s[i] {
+		if i+1 < len(s) && s[i+1] == s[i] { //lint:allow float-equal collapses exact duplicates in sorted samples; bit-exact by design
 			continue
 		}
 		pts = append(pts, CDFPoint{X: s[i], F: float64(i+1) / n})

@@ -48,7 +48,7 @@ func SizeCDF(t *Trace) []stats.CDFPoint {
 	}
 	xs := make([]float64, 0, len(sizes))
 	for _, s := range sizes {
-		xs = append(xs, float64(s))
+		xs = append(xs, float64(s)) //lint:allow map-iter-order stats.CDF sorts its input
 	}
 	return stats.CDF(xs)
 }
@@ -97,7 +97,7 @@ func ZipfSlope(t *Trace) float64 {
 	}
 	fm := float64(m)
 	den := fm*sxx - sx*sx
-	if den == 0 {
+	if den == 0 { //lint:allow float-equal exact zero denominator guards the division below
 		return 0
 	}
 	return (fm*sxy - sx*sy) / den

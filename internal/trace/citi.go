@@ -28,7 +28,7 @@ func (c *CitiConfig) defaults() {
 	if c.Stations == 0 {
 		c.Stations = 600
 	}
-	if c.ZipfAlpha == 0 {
+	if c.ZipfAlpha == 0 { //lint:allow float-equal zero ZipfAlpha means unset; fill the default
 		c.ZipfAlpha = 0.9
 	}
 }

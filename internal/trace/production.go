@@ -68,7 +68,7 @@ func (c *ProductionConfig) defaults() {
 	if c.Requests == 0 {
 		c.Requests = 200000
 	}
-	if c.ZipfAlpha == 0 {
+	if c.ZipfAlpha == 0 { //lint:allow float-equal zero ZipfAlpha means unset; fill the default
 		c.ZipfAlpha = 0.9
 	}
 	if c.Days == 0 {
@@ -102,7 +102,7 @@ func Production(cfg ProductionConfig) *Trace {
 
 	maxMod := 1 + cfg.DiurnalAmplitude
 	rateMod := func(t float64) float64 {
-		if cfg.DiurnalAmplitude == 0 {
+		if cfg.DiurnalAmplitude == 0 { //lint:allow float-equal exact zero amplitude disables the diurnal modulation
 			return 1
 		}
 		return 1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*t/period)
@@ -241,7 +241,7 @@ func PresetConfig(p ProductionPreset, scale float64, seed int64) ProductionConfi
 			BurstProb: 0.25, OneHitFraction: 0.2, Seed: seed + 5,
 		}
 	default:
-		panic(fmt.Sprintf("trace: unknown production preset %q", p))
+		panic(fmt.Sprintf("trace: unknown production preset %q", p)) //lint:allow no-panic unknown preset name is a programmer error
 	}
 }
 

@@ -61,10 +61,10 @@ func (c *SynthConfig) defaults() {
 	if c.Requests == 0 {
 		c.Requests = 100000
 	}
-	if c.ZipfAlpha == 0 {
+	if c.ZipfAlpha == 0 { //lint:allow float-equal zero ZipfAlpha means unset; fill the default
 		c.ZipfAlpha = 0.8
 	}
-	if c.ParetoShape == 0 {
+	if c.ParetoShape == 0 { //lint:allow float-equal zero ParetoShape means unset; fill the default
 		c.ParetoShape = 1.5
 	}
 	if c.SizeLo == 0 {
@@ -131,7 +131,7 @@ func Synthetic(cfg SynthConfig) *Trace {
 		case Pareto:
 			return g.ParetoMean(cfg.ParetoShape, mean)
 		default:
-			panic("trace: unknown interarrival distribution")
+			panic("trace: unknown interarrival distribution") //lint:allow no-panic exhaustive switch over the interarrival enum
 		}
 	}
 

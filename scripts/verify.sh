@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# verify.sh — the repository's single verification entry point.
+#
+# Runs, in order:
+#   1. go vet            (stdlib static checks: printf verbs, copylocks, tags)
+#   2. go build          (everything compiles)
+#   3. go test           (full unit + integration suite)
+#   4. go test -race     (concurrent packages under the race detector)
+#   5. ravenlint         (repo-specific determinism / concurrency /
+#                         hygiene invariants; see internal/lint)
+#
+# Any failure aborts with a nonzero exit. CI runs exactly this script,
+# so a green local run means a green CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Packages with real concurrency: the parallel simulator, the TCP
+# server, the experiment harness that fans out runs, and the cache
+# engine they all share.
+RACE_PKGS="./internal/sim/... ./internal/server/... ./internal/experiments/... ./internal/cache/..."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+if [[ "${SKIP_RACE:-0}" != "1" ]]; then
+    echo "==> go test -race ${RACE_PKGS}"
+    # shellcheck disable=SC2086
+    go test -race ${RACE_PKGS}
+else
+    echo "==> skipping -race (SKIP_RACE=1; CI runs it as a dedicated job)"
+fi
+
+echo "==> go run ./cmd/ravenlint ./..."
+go run ./cmd/ravenlint ./...
+
+echo "verify: OK"
