@@ -38,6 +38,7 @@ func main() {
 		cacheFrac = flag.Float64("cachefrac", 0.02, "cache capacity as a fraction of unique bytes")
 		warmup    = flag.Float64("warmup", 0.3, "fraction of requests excluded from statistics")
 		netKind   = flag.String("net", "", "latency model: cdn|memory|'' (off)")
+		workers   = flag.Int("workers", 1, "Raven training/eviction goroutines (results are bit-identical for any value)")
 		seed      = flag.Int64("seed", 42, "random seed")
 		listPols  = flag.Bool("list", false, "list available policies and exit")
 	)
@@ -84,6 +85,7 @@ func main() {
 			Capacity:    cap,
 			TrainWindow: tr.Duration() / 8,
 			Seed:        *seed,
+			Workers:     *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "raven-sim:", err)

@@ -1,0 +1,343 @@
+// Command ravenbench is the performance harness for the parallel
+// execution layer: it times the tuned linear-algebra kernels against
+// scalar references, training epochs and eviction decisions across
+// worker counts, and an end-to-end simulation, then writes the
+// results as BENCH_<date>.json so runs are comparable across machines
+// and commits.
+//
+// Thread-level speedups require real cores: the report records
+// num_cpu and gomaxprocs so a reader can tell "no speedup" on a
+// single-core container apart from a regression. The kernel-tuning
+// and allocation numbers are meaningful on any machine.
+//
+// Usage:
+//
+//	ravenbench [-out DIR] [-workers 1,2,4,8] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"raven/internal/cache"
+	"raven/internal/core"
+	"raven/internal/nn"
+	"raven/internal/policy"
+	"raven/internal/sim"
+	"raven/internal/stats"
+	"raven/internal/trace"
+)
+
+type kernelResult struct {
+	Name      string  `json:"name"`
+	TunedNs   float64 `json:"tuned_ns_per_op"`
+	RefNs     float64 `json:"reference_ns_per_op"`
+	Speedup   float64 `json:"speedup_vs_reference"`
+	Dimension string  `json:"dimension"`
+}
+
+type workerResult struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type e2eResult struct {
+	Workers   int     `json:"workers"`
+	Requests  int     `json:"requests"`
+	Seconds   float64 `json:"seconds"`
+	Speedup   float64 `json:"speedup_vs_serial"`
+	ReqPerSec float64 `json:"requests_per_sec"`
+}
+
+type report struct {
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Kernels    []kernelResult `json:"kernels"`
+	TrainEpoch []workerResult `json:"train_epoch"`
+	Evict      []workerResult `json:"evict_decision"`
+	EndToEnd   []e2eResult    `json:"end_to_end_sim"`
+}
+
+// timeOp measures ns/op of fn, running it repeatedly until at least
+// minDur has elapsed (after one untimed warmup call).
+func timeOp(minDur time.Duration, fn func()) float64 {
+	fn()
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el >= minDur {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		if el <= 0 {
+			n *= 1000
+			continue
+		}
+		// Aim 20% past the budget so the next round usually terminates.
+		n = int(float64(n) * 1.2 * float64(minDur) / float64(el))
+		if n < 1 {
+			n = 1
+		}
+	}
+}
+
+// allocsPerOp measures heap allocations per call of fn (after warmup),
+// single-goroutine, mirroring testing.AllocsPerRun.
+func allocsPerOp(runs int, fn func()) float64 {
+	fn()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// ---- scalar reference kernels (the pre-tuning implementations) ----
+
+func refMatVec(w []float64, rows, cols int, x, y0, y []float64) {
+	for r := 0; r < rows; r++ {
+		s := 0.0
+		if y0 != nil {
+			s = y0[r]
+		}
+		row := w[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			s += row[c] * x[c]
+		}
+		y[r] = s
+	}
+}
+
+func refMatTVecAdd(w []float64, rows, cols int, dy, dx []float64) {
+	for r := 0; r < rows; r++ {
+		d := dy[r]
+		if d == 0 { //lint:allow float-equal mirrors the tuned kernel's exact-zero row skip
+			continue
+		}
+		row := w[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			dx[c] += d * row[c]
+		}
+	}
+}
+
+func refOuterAdd(dw []float64, rows, cols int, dy, x []float64) {
+	for r := 0; r < rows; r++ {
+		d := dy[r]
+		if d == 0 { //lint:allow float-equal mirrors the tuned kernel's exact-zero row skip
+			continue
+		}
+		row := dw[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			row[c] += d * x[c]
+		}
+	}
+}
+
+func benchKernels(minDur time.Duration) []kernelResult {
+	const rows, cols = 64, 64
+	g := stats.NewRNG(1)
+	w := make([]float64, rows*cols)
+	x := make([]float64, cols)
+	y := make([]float64, rows)
+	dy := make([]float64, rows)
+	dx := make([]float64, cols)
+	for i := range w {
+		w[i] = g.NormFloat64()
+	}
+	for i := range x {
+		x[i] = g.NormFloat64()
+	}
+	for i := range dy {
+		dy[i] = g.NormFloat64()
+	}
+	dim := fmt.Sprintf("%dx%d", rows, cols)
+	mk := func(name string, tuned, ref func()) kernelResult {
+		t := timeOp(minDur, tuned)
+		r := timeOp(minDur, ref)
+		return kernelResult{Name: name, TunedNs: t, RefNs: r, Speedup: r / t, Dimension: dim}
+	}
+	return []kernelResult{
+		mk("matVec",
+			func() { nn.MatVec(w, rows, cols, x, nil, y) },
+			func() { refMatVec(w, rows, cols, x, nil, y) }),
+		mk("matTVecAdd",
+			func() { nn.MatTVecAdd(w, rows, cols, dy, dx) },
+			func() { refMatTVecAdd(w, rows, cols, dy, dx) }),
+		mk("outerAdd",
+			func() { nn.OuterAdd(w, rows, cols, dy, x) },
+			func() { refOuterAdd(w, rows, cols, dy, x) }),
+	}
+}
+
+func trainSequences(n int, g *stats.RNG) []nn.Sequence {
+	data := make([]nn.Sequence, n)
+	for i := range data {
+		taus := make([]float64, 4+g.Intn(24))
+		for j := range taus {
+			taus[j] = g.Exponential(40)
+		}
+		data[i] = nn.Sequence{
+			Taus:     taus,
+			Size:     64 + float64(g.Intn(4000)),
+			Survival: g.Exponential(80),
+		}
+	}
+	return data
+}
+
+func benchTrainEpoch(workers []int, seqs int) []workerResult {
+	data := trainSequences(seqs, stats.NewRNG(3))
+	out := make([]workerResult, 0, len(workers))
+	for _, w := range workers {
+		n := nn.NewNet(nn.Config{TimeScale: 40, Seed: 3})
+		tc := nn.TrainConfig{MaxEpochs: 1, Patience: 1, Survival: true, Workers: w, Seed: 9}
+		ns := timeOp(200*time.Millisecond, func() { n.Fit(data, tc) })
+		out = append(out, workerResult{Workers: w, NsPerOp: ns})
+	}
+	for i := range out {
+		out[i].Speedup = out[0].NsPerOp / out[i].NsPerOp
+	}
+	return out
+}
+
+func trainedRaven(workers int) *core.Raven {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 200, Requests: 30000, Interarrival: trace.Poisson, Seed: 5,
+	})
+	r := core.New(core.Config{
+		TrainWindow:     tr.Duration() / 4,
+		MaxTrainObjects: 300,
+		Net:             nn.Config{Hidden: 8, MLPHidden: 12, K: 4},
+		Train:           nn.TrainConfig{MaxEpochs: 5, Patience: 2},
+		Workers:         workers,
+		Seed:            7,
+	})
+	c := cache.New(40, r)
+	for _, req := range tr.Reqs {
+		c.Handle(req)
+	}
+	if !r.Trained() {
+		fmt.Fprintln(os.Stderr, "ravenbench: policy never trained; eviction numbers would be LRU fallback")
+		os.Exit(1)
+	}
+	return r
+}
+
+func benchEvict(workers []int) []workerResult {
+	out := make([]workerResult, 0, len(workers))
+	for _, w := range workers {
+		r := trainedRaven(w)
+		victim := func() {
+			if _, ok := r.Victim(); !ok {
+				fmt.Fprintln(os.Stderr, "ravenbench: no victim from a full cache")
+				os.Exit(1)
+			}
+		}
+		ns := timeOp(300*time.Millisecond, victim)
+		al := allocsPerOp(200, victim)
+		out = append(out, workerResult{Workers: w, NsPerOp: ns, AllocsPerOp: al})
+	}
+	for i := range out {
+		out[i].Speedup = out[0].NsPerOp / out[i].NsPerOp
+	}
+	return out
+}
+
+func benchEndToEnd(workers []int, requests int) []e2eResult {
+	out := make([]e2eResult, 0, len(workers))
+	for _, w := range workers {
+		tr := trace.Synthetic(trace.SynthConfig{
+			Objects: 200, Requests: requests, Interarrival: trace.Pareto,
+			VariableSizes: true, Seed: 11,
+		})
+		capacity := tr.UniqueBytes() / 8
+		p := policy.MustNew("raven", policy.Options{
+			Capacity: capacity, TrainWindow: tr.Duration() / 4, Seed: 7, Workers: w,
+		})
+		start := time.Now()
+		sim.Run(tr, p, sim.Options{Capacity: capacity, Seed: 3})
+		el := time.Since(start).Seconds()
+		out = append(out, e2eResult{
+			Workers: w, Requests: requests, Seconds: el,
+			ReqPerSec: float64(requests) / el,
+		})
+	}
+	for i := range out {
+		out[i].Speedup = out[0].Seconds / out[i].Seconds
+	}
+	return out
+}
+
+func main() {
+	outDir := flag.String("out", ".", "directory for the BENCH_<date>.json report")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts (first is the serial baseline)")
+	quick := flag.Bool("quick", false, "smaller workloads for a fast smoke run")
+	flag.Parse()
+
+	var workers []int
+	for _, f := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "ravenbench: bad -workers entry %q\n", f)
+			os.Exit(2)
+		}
+		workers = append(workers, w)
+	}
+
+	kernelDur := 50 * time.Millisecond
+	seqs, reqs := 256, 40000
+	if *quick {
+		kernelDur = 5 * time.Millisecond
+		seqs, reqs = 64, 8000
+	}
+
+	rep := report{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(os.Stderr, "ravenbench: %d cpus, gomaxprocs %d, workers %v\n",
+		rep.NumCPU, rep.GoMaxProcs, workers)
+
+	fmt.Fprintln(os.Stderr, "==> kernels (tuned vs scalar reference)")
+	rep.Kernels = benchKernels(kernelDur)
+	fmt.Fprintln(os.Stderr, "==> training epoch")
+	rep.TrainEpoch = benchTrainEpoch(workers, seqs)
+	fmt.Fprintln(os.Stderr, "==> eviction decision")
+	rep.Evict = benchEvict(workers)
+	fmt.Fprintln(os.Stderr, "==> end-to-end simulation")
+	rep.EndToEnd = benchEndToEnd(workers, reqs)
+
+	path := filepath.Join(*outDir, "BENCH_"+rep.Date+".json")
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ravenbench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ravenbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	_, _ = os.Stdout.Write(buf)
+	fmt.Fprintf(os.Stderr, "ravenbench: wrote %s\n", path)
+}

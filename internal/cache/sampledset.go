@@ -11,6 +11,13 @@ type SampledSet[V any] struct {
 	keys  []Key
 	vals  []V
 	index map[Key]int
+
+	// Sampling scratch: perm is an identity permutation grown lazily
+	// (always restored to identity after each Sample); swaps records
+	// the swap targets of one partial Fisher-Yates pass so it can be
+	// undone.
+	perm  []int
+	swaps []int
 }
 
 // NewSampledSet creates an empty set.
@@ -87,14 +94,21 @@ func (s *SampledSet[V]) Sample(g *stats.RNG, n int, dst []int) []int {
 		}
 		return dst
 	}
-	seen := make(map[int]struct{}, n)
-	for len(dst) < n {
-		i := g.Intn(m)
-		if _, dup := seen[i]; dup {
-			continue
-		}
-		seen[i] = struct{}{}
-		dst = append(dst, i)
+	for len(s.perm) < m {
+		s.perm = append(s.perm, len(s.perm))
+	}
+	s.swaps = s.swaps[:0]
+	for k := 0; k < n; k++ {
+		i := k + g.Intn(m-k)
+		s.perm[k], s.perm[i] = s.perm[i], s.perm[k]
+		s.swaps = append(s.swaps, i)
+		dst = append(dst, s.perm[k])
+	}
+	// Undo the swaps in reverse so perm is identity again; this costs
+	// O(n) instead of the O(m) a full re-initialization would.
+	for k := n - 1; k >= 0; k-- {
+		i := s.swaps[k]
+		s.perm[k], s.perm[i] = s.perm[i], s.perm[k]
 	}
 	return dst
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"raven/internal/cache"
+	"raven/internal/nn"
+	"raven/internal/trace"
+)
+
+// trainedRaven builds a Raven that has completed at least one training
+// window and holds a full cache, ready for eviction benchmarks.
+func trainedRaven(tb testing.TB, workers int) *Raven {
+	tb.Helper()
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 200, Requests: 30000, Interarrival: trace.Poisson, Seed: 5,
+	})
+	r := New(Config{
+		TrainWindow:     tr.Duration() / 4,
+		MaxTrainObjects: 300,
+		Net:             nn.Config{Hidden: 8, MLPHidden: 12, K: 4},
+		Train:           nn.TrainConfig{MaxEpochs: 5, Patience: 2},
+		Workers:         workers,
+		Seed:            7,
+	})
+	c := cache.New(40, r) // 40 unit-size objects
+	for _, req := range tr.Reqs {
+		c.Handle(req)
+	}
+	if !r.Trained() {
+		tb.Fatal("raven never trained a model")
+	}
+	return r
+}
+
+// TestEvictionPathAllocFree pins the serial eviction hot path at zero
+// allocations per decision: after one warmup call has grown every
+// scratch buffer and refreshed every resident embedding, Victim must
+// not touch the heap.
+func TestEvictionPathAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	r := trainedRaven(t, 1)
+	r.Victim() // grow scratch, embed all residents
+	avg := testing.AllocsPerRun(200, func() {
+		if _, ok := r.Victim(); !ok {
+			t.Fatal("no victim from a full cache")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("eviction decision allocates %.1f times per op; want 0", avg)
+	}
+}
+
+func BenchmarkEvictDecision(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			r := trainedRaven(b, w)
+			r.Victim() // warmup: grow scratch outside the timed region
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Victim()
+			}
+		})
+	}
+}

@@ -89,6 +89,13 @@ type Config struct {
 	// first window always trains.
 	DriftThreshold float64
 
+	// Workers is the goroutine fan-out for training minibatches and
+	// per-candidate eviction inference (0 or 1 = serial). Results are
+	// bit-identical for every value — see DESIGN.md "Parallel execution
+	// & determinism" — so Workers is purely a throughput knob;
+	// nn.DefaultWorkers() is the hardware optimum.
+	Workers int
+
 	Seed int64
 }
 
@@ -124,6 +131,9 @@ func (c *Config) defaults() {
 		c.Train.MaxSeq = 32
 	}
 	c.Train.Survival = !c.DisableSurvival
+	if c.Train.Workers == 0 {
+		c.Train.Workers = c.Workers
+	}
 	if c.Train.Seed == 0 {
 		c.Train.Seed = c.Seed + 1
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"container/list"
-	"math"
 
 	"raven/internal/cache"
 	"raven/internal/nn"
@@ -39,14 +38,22 @@ type Raven struct {
 	window *window
 	drift  *driftDetector
 
+	// Eviction fan-out state. pool runs the per-candidate embed+predict
+	// and MC sampling loops; infNets/infPred are one shadow network and
+	// prediction scratch per worker (rebuilt lazily after a model swap);
+	// candTask is the pre-bound candidate closure so Victim never
+	// allocates one.
+	pool     *nn.Pool
+	infNets  []*nn.Net
+	infPred  []*nn.PredictScratch
+	candTask func(w, j int)
+	mc       *mcScratch
+
 	// Scratch buffers reused across evictions.
 	scrIdx  []int
 	scrMix  []nn.Mixture
-	scrCum  [][]float64
-	scrWins []int
 	scrKeys []cache.Key
 	scrSize []int64
-	scrPred *nn.PredictScratch
 
 	// TrainStats records every completed training run (Table 7 and the
 	// overhead discussion of §6.1.1).
@@ -76,7 +83,10 @@ func New(cfg Config) *Raven {
 		hists: make(map[cache.Key]*objHist, 4096),
 		set:   cache.NewSampledSet[*objHist](),
 		ll:    list.New(),
+		pool:  nn.NewPool(cfg.Workers),
 	}
+	r.candTask = r.candidateTask
+	r.mc = newMCScratch(r.pool)
 	r.window = newWindow(cfg.SampleBudgetBytes, cfg.MaxTrainObjects, cfg.Train.MaxSeq, stats.NewRNG(cfg.Seed+3))
 	if cfg.DriftThreshold > 0 {
 		r.drift = newDriftDetector(cfg.DriftThreshold, 0)
@@ -195,7 +205,10 @@ func (r *Raven) train() {
 		if old != nil {
 			r.net.Version = old.Version
 		}
-		r.scrPred = nil
+		// Inference shadows alias the old network's weights; rebuild
+		// them lazily against the new one.
+		r.infNets = nil
+		r.infPred = nil
 	}
 	tc := r.cfg.Train
 	tc.Seed += int64(len(r.TrainStats)) // vary shuffles between windows
@@ -267,21 +280,30 @@ func (r *Raven) Victim() (cache.Key, bool) {
 	if n == 1 {
 		return r.scrKeys[0], true
 	}
-	var scores []float64
 	if r.cfg.ExactPriority {
-		scores = PriorityScoresExact(r.scrMix, 256)
-	} else {
-		wins := r.scoreCandidates()
-		scores = make([]float64, n)
-		for j := range wins {
-			scores[j] = float64(wins[j]) / float64(r.cfg.ResidualSamples)
+		scores := PriorityScoresExact(r.scrMix, 256)
+		best := -1.0
+		victim := r.scrKeys[0]
+		for j := 0; j < n; j++ {
+			score := scores[j]
+			if r.cfg.Goal == GoalOHR {
+				score *= float64(r.scrSize[j])
+			}
+			if score > best {
+				best = score
+				victim = r.scrKeys[j]
+			}
 		}
+		return victim, true
 	}
-	// Pick the highest priority score, weighted by size for OHR.
+	// Monte Carlo estimator (Eq. 1c): the win count is the score up to
+	// the constant 1/M factor, which cannot change the argmax, so the
+	// hot path skips the normalization (and any scores slice).
+	wins := r.mc.winsMC(r.scrMix, r.cfg.ResidualSamples, r.rng)
 	best := -1.0
 	victim := r.scrKeys[0]
 	for j := 0; j < n; j++ {
-		score := scores[j]
+		score := float64(wins[j])
 		if r.cfg.Goal == GoalOHR {
 			score *= float64(r.scrSize[j])
 		}
@@ -293,60 +315,52 @@ func (r *Raven) Victim() (cache.Key, bool) {
 	return victim, true
 }
 
-// prepareCandidates samples eviction candidates and computes their
-// residual-time mixtures, refreshing stale embeddings.
+// candidateTask prepares candidate slot j: it refreshes the object's
+// embedding if a model swap made it stale, predicts the residual-time
+// mixture, and records the key and size. It runs on pool workers —
+// each worker uses its own shadow network and prediction scratch, and
+// the task writes only j-addressed slots (distinct sampled indices
+// hold distinct *objHist, so the in-place embedding refresh is
+// race-free). Results are bit-identical for any worker count because
+// shadows alias the master's weights.
+func (r *Raven) candidateTask(w, j int) {
+	k, hp := r.set.At(r.scrIdx[j])
+	h := *hp
+	net := r.infNets[w]
+	if h.embVersion != r.net.Version {
+		h.emb = net.EmbedHistoryInto(h.emb, h.hist)
+		h.embVersion = r.net.Version
+	}
+	age := float64(r.now - h.lastSeen)
+	net.PredictWith(r.infPred[w], h.emb, float64(h.size), age, &r.scrMix[j])
+	r.scrKeys[j] = k
+	r.scrSize[j] = h.size
+}
+
+// prepareCandidates samples eviction candidates and fans their
+// embed+predict work out over the pool, one indexed slot per
+// candidate.
 func (r *Raven) prepareCandidates() {
 	r.scrIdx = r.set.Sample(r.rng, r.cfg.CandidateSample, r.scrIdx)
 	n := len(r.scrIdx)
 	if cap(r.scrMix) < n {
 		r.scrMix = make([]nn.Mixture, n)
-		r.scrCum = make([][]float64, n)
-		r.scrWins = make([]int, n)
+		r.scrKeys = make([]cache.Key, n)
+		r.scrSize = make([]int64, n)
 	}
 	r.scrMix = r.scrMix[:n]
-	r.scrCum = r.scrCum[:n]
-	r.scrWins = r.scrWins[:n]
-	r.scrKeys = r.scrKeys[:0]
-	r.scrSize = r.scrSize[:0]
-	if r.scrPred == nil {
-		r.scrPred = r.net.NewPredictScratch()
-	}
-	for j, i := range r.scrIdx {
-		k, hp := r.set.At(i)
-		h := *hp
-		if h.embVersion != r.net.Version {
-			h.emb = r.net.EmbedHistoryInto(h.emb, h.hist)
-			h.embVersion = r.net.Version
+	r.scrKeys = r.scrKeys[:n]
+	r.scrSize = r.scrSize[:n]
+	if r.infNets == nil {
+		w := r.pool.Workers()
+		r.infNets = make([]*nn.Net, w)
+		r.infPred = make([]*nn.PredictScratch, w)
+		for k := range r.infNets {
+			r.infNets[k] = r.net.Shadow()
+			r.infPred[k] = r.net.NewPredictScratch()
 		}
-		age := float64(r.now - h.lastSeen)
-		r.net.PredictWith(r.scrPred, h.emb, float64(h.size), age, &r.scrMix[j])
-		r.scrKeys = append(r.scrKeys, k)
-		r.scrSize = append(r.scrSize, h.size)
 	}
-}
-
-// scoreCandidates estimates each candidate's priority score (Eq. 1c)
-// by drawing ResidualSamples per candidate and counting, per draw
-// index, which candidate's residual sample is largest.
-func (r *Raven) scoreCandidates() []int {
-	n := len(r.scrKeys)
-	for j := 0; j < n; j++ {
-		r.scrWins[j] = 0
-		r.scrCum[j] = cumWeights(r.scrMix[j].W, r.scrCum[j])
-	}
-	for m := 0; m < r.cfg.ResidualSamples; m++ {
-		bestJ := 0
-		bestR := math.Inf(-1)
-		for j := 0; j < n; j++ {
-			rv := sampleLogResidual(&r.scrMix[j], r.scrCum[j], r.rng)
-			if rv > bestR {
-				bestR = rv
-				bestJ = j
-			}
-		}
-		r.scrWins[bestJ]++
-	}
-	return r.scrWins
+	r.pool.ParallelFor(n, r.candTask)
 }
 
 func cumWeights(w []float64, dst []float64) []float64 {

@@ -53,6 +53,7 @@ func DefaultRules() []Rule {
 		ruleLockByValue(),
 		ruleGoLoopCapture(),
 		ruleUnsyncedCounter(),
+		ruleGoroutineOutsidePool(),
 		ruleNoPanic(),
 		ruleFloatEqual(),
 		ruleUncheckedError(),

@@ -327,6 +327,52 @@ func f() {
 `,
 		},
 
+		// ---- goroutine-outside-pool ----
+		{
+			name:    "go statement in internal/nn outside the pool file is flagged",
+			relfile: "internal/nn/train.go",
+			src: `package nn
+func work() {}
+func f() { go work() }
+`,
+			want: []string{"3:[goroutine-outside-pool]"},
+		},
+		{
+			name:    "go statement in internal/core is flagged",
+			relfile: "internal/core/raven.go",
+			src: `package core
+func work() {}
+func f() { go work() }
+`,
+			want: []string{"3:[goroutine-outside-pool]"},
+		},
+		{
+			name:    "the pool file itself may launch goroutines",
+			relfile: "internal/nn/pool.go",
+			src: `package nn
+func work() {}
+func f() { go work() }
+`,
+		},
+		{
+			name:    "go statements outside the deterministic packages are not flagged",
+			relfile: "internal/sim/sim.go",
+			src: `package sim
+func work() {}
+func f() { go work() }
+`,
+		},
+		{
+			name:    "pragma suppresses goroutine-outside-pool",
+			relfile: "internal/core/raven.go",
+			src: `package core
+func work() {}
+func f() {
+	go work() //lint:allow goroutine-outside-pool fixture demonstrates suppression
+}
+`,
+		},
+
 		// ---- no-panic ----
 		{
 			name: "panic in library code is flagged",

@@ -265,6 +265,42 @@ func ruleUnsyncedCounter() Rule {
 	}
 }
 
+// poolFile is the one file in the deterministic packages allowed to
+// launch goroutines: nn.Pool's fork-join loop.
+const poolFile = "internal/nn/pool.go"
+
+// ruleGoroutineOutsidePool flags every `go` statement in internal/nn
+// and internal/core outside nn.Pool. Those packages promise bit-exact
+// results for any worker count (DESIGN.md "Parallel execution &
+// determinism"), and that promise is only auditable while every
+// source of concurrency on the training and eviction paths flows
+// through Pool.ParallelFor's index-addressed contract. Sites with a
+// reason to fork directly carry a //lint:allow pragma.
+func ruleGoroutineOutsidePool() Rule {
+	const id = "goroutine-outside-pool"
+	return Rule{
+		ID:  id,
+		Doc: "internal/nn and internal/core launch goroutines only through nn.Pool",
+		Check: func(p *Package) []Finding {
+			var out []Finding
+			for _, f := range p.Files {
+				rel := p.relFile(f)
+				if !underDirs(rel, "internal/nn", "internal/core") || rel == poolFile {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					if gs, ok := n.(*ast.GoStmt); ok {
+						out = append(out, p.finding(id, gs.Pos(),
+							"goroutine launched outside nn.Pool; route parallelism through Pool.ParallelFor"))
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
 // takesLock reports whether body calls a Lock/RLock method anywhere,
 // in which case shared writes inside it are assumed guarded.
 func (p *Package) takesLock(body ast.Node) bool {

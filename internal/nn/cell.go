@@ -33,6 +33,10 @@ type Cell interface {
 	Backward(cache *CellCache, dNext, dPrev []float64)
 	// NewCache allocates a step cache.
 	NewCache() *CellCache
+	// Shadow returns a replica whose weights alias this cell's but
+	// whose gradient buffers and inference scratch are private, so one
+	// goroutine can run Step/Backward concurrently with others.
+	Shadow() Cell
 }
 
 // CellCache stores one step's activations; its slices are interpreted
@@ -135,6 +139,12 @@ func (v *Vanilla) OutputSize() int { return v.HiddenN }
 // NewCache implements Cell.
 func (v *Vanilla) NewCache() *CellCache {
 	return newCellCache(v.In, v.HiddenN, v.HiddenN) // buf0 = h'
+}
+
+// Shadow implements Cell.
+func (v *Vanilla) Shadow() Cell {
+	return &Vanilla{In: v.In, HiddenN: v.HiddenN,
+		W: v.W.shadowOf(), U: v.U.shadowOf(), B: v.B.shadowOf()}
 }
 
 // Step implements Cell.

@@ -23,6 +23,11 @@ func NewDense(name string, in, out int, g *stats.RNG) *Dense {
 // Params returns the layer's learnable tensors.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
+// Shadow returns a layer sharing d's weights with private gradients.
+func (d *Dense) Shadow() *Dense {
+	return &Dense{In: d.In, Out: d.Out, W: d.W.shadowOf(), B: d.B.shadowOf()}
+}
+
 // Forward computes y = W*x + b. len(x) must be In; len(y) must be Out.
 func (d *Dense) Forward(x, y []float64) {
 	matVec(d.W.W, d.Out, d.In, x, d.B.W, y)

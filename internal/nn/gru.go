@@ -63,6 +63,15 @@ func (u *GRU) NewCache() *CellCache {
 	return newCellCache(u.In, u.HiddenN, u.HiddenN, u.HiddenN, u.HiddenN, u.HiddenN)
 }
 
+// Shadow implements Cell. The replica's lazily-sized inference
+// scratch starts empty, so concurrent shadows never share it.
+func (u *GRU) Shadow() Cell {
+	return &GRU{In: u.In, HiddenN: u.HiddenN,
+		Wz: u.Wz.shadowOf(), Uz: u.Uz.shadowOf(), Bz: u.Bz.shadowOf(),
+		Wr: u.Wr.shadowOf(), Ur: u.Ur.shadowOf(), Br: u.Br.shadowOf(),
+		Wh: u.Wh.shadowOf(), Uh: u.Uh.shadowOf(), Bh: u.Bh.shadowOf()}
+}
+
 func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 
 // Step implements Cell. out may alias prev.
@@ -103,18 +112,6 @@ func (u *GRU) Step(x, prev []float64, cache *CellCache, out []float64) {
 	}
 	for i := 0; i < H; i++ {
 		out[i] = (1-z[i])*prev[i] + z[i]*hc[i]
-	}
-}
-
-// matVecAdd computes y += U*x for a square H×H matrix U.
-func matVecAdd(uw []float64, h int, x, y []float64) {
-	for r := 0; r < h; r++ {
-		row := uw[r*h : (r+1)*h]
-		s := 0.0
-		for c, xc := range x {
-			s += row[c] * xc
-		}
-		y[r] += s
 	}
 }
 

@@ -71,6 +71,15 @@ func (l *LSTM) NewCache() *CellCache {
 	return newCellCache(l.In, 2*h, h, h, h, h, h, h)
 }
 
+// Shadow implements Cell.
+func (l *LSTM) Shadow() Cell {
+	return &LSTM{In: l.In, HiddenN: l.HiddenN,
+		Wi: l.Wi.shadowOf(), Ui: l.Ui.shadowOf(), Bi: l.Bi.shadowOf(),
+		Wf: l.Wf.shadowOf(), Uf: l.Uf.shadowOf(), Bf: l.Bf.shadowOf(),
+		Wo: l.Wo.shadowOf(), Uo: l.Uo.shadowOf(), Bo: l.Bo.shadowOf(),
+		Wg: l.Wg.shadowOf(), Ug: l.Ug.shadowOf(), Bg: l.Bg.shadowOf()}
+}
+
 // Step implements Cell. out may alias prev.
 func (l *LSTM) Step(x, prev []float64, cache *CellCache, out []float64) {
 	H := l.HiddenN

@@ -77,6 +77,38 @@ func NewNet(cfg Config) *Net {
 // Params returns all learnable tensors.
 func (n *Net) Params() []*Param { return n.params }
 
+// Shadow returns a replica of n whose weights ALIAS n's backing
+// arrays (updates to n's parameters — Adam steps, snapshot restores —
+// are immediately visible) but whose gradient buffers, recurrent
+// scratch, and MLP caches are private. One goroutine may run
+// forward/backward or Predict on a shadow concurrently with other
+// shadows; Fit's data-parallel workers and Raven's eviction fan-out
+// both use one shadow per slot. Only the original carries optimizer
+// state, and Fit must be called on the original.
+func (n *Net) Shadow() *Net {
+	s := &Net{Cfg: n.Cfg, Version: n.Version}
+	s.cell = n.cell.Shadow()
+	s.fc1 = n.fc1.Shadow()
+	s.fc2 = n.fc2.Shadow()
+	s.headW = n.headW.Shadow()
+	s.headMu = n.headMu.Shadow()
+	s.headS = n.headS.Shadow()
+	s.params = append(s.params, s.cell.Params()...)
+	s.params = append(s.params, s.fc1.Params()...)
+	s.params = append(s.params, s.fc2.Params()...)
+	s.params = append(s.params, s.headW.Params()...)
+	s.params = append(s.params, s.headMu.Params()...)
+	s.params = append(s.params, s.headS.Params()...)
+	return s
+}
+
+// zeroGrad clears every parameter's accumulated gradient.
+func (n *Net) zeroGrad() {
+	for _, p := range n.params {
+		p.ZeroGrad()
+	}
+}
+
 // NumParams returns the total parameter count.
 func (n *Net) NumParams() int {
 	t := 0

@@ -37,6 +37,16 @@ func (p *Param) initXavier(g *stats.RNG, fanIn, fanOut int) {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { zero(p.G) }
 
+// shadowOf returns a Param whose weights ALIAS p's backing array but
+// whose gradient buffer is private (and zeroed). Shadow params are
+// the accumulation targets of one parallel training shard: workers
+// read shared weights and write private gradients, which the caller
+// reduces into the originals in fixed shard order. Shadows carry no
+// optimizer state — Adam only ever steps the originals.
+func (p *Param) shadowOf() *Param {
+	return &Param{Name: p.Name, W: p.W, G: make([]float64, len(p.G))}
+}
+
 // Adam is the Adam optimizer over a set of parameters.
 type Adam struct {
 	LR      float64

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fork-join worker pool for data-parallel loops over
+// independent, index-addressed work items. It is the ONLY place in
+// internal/nn and internal/core allowed to launch goroutines:
+// ravenlint's goroutine-outside-pool rule flags any `go` statement in
+// those packages outside this file, which keeps every source of
+// concurrency on the training and eviction hot paths auditable from
+// one screen of code.
+//
+// Determinism contract (DESIGN.md "Parallel execution & determinism"):
+// ParallelFor partitions indices into contiguous chunks purely by
+// (n, workers); fn(worker, i) must write only to slots addressed by i
+// (plus worker-private scratch addressed by worker). Reductions over
+// those slots are the caller's job and must run serially in index
+// order. Under that discipline every result is bit-identical for any
+// worker count, including 1 — parallelism changes who computes, never
+// what is computed or the order it is combined in.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool that runs loops on up to workers goroutines.
+// Values below 1 mean serial execution. The count is not clamped to
+// GOMAXPROCS: results never depend on it, and oversubscription is
+// deliberately allowed so the race detector exercises real
+// interleavings even on single-core machines. Callers that want the
+// hardware optimum pass DefaultWorkers().
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// DefaultWorkers returns the hardware-appropriate worker count,
+// runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ParallelFor invokes fn(worker, i) for every i in [0, n), partitioned
+// into at most Workers() contiguous chunks. Worker 0 is the calling
+// goroutine (no goroutines at all when the effective worker count is
+// 1, so serial pools add zero overhead and zero allocations); workers
+// 1..w-1 are forked per call and joined before ParallelFor returns.
+//
+// fn must treat `worker` as its scratch-buffer index and `i` as its
+// output-slot index; it must not write any state shared across
+// distinct workers.
+func (p *Pool) ParallelFor(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Kept free of the forking code below so nothing in this path
+		// is captured by a goroutine closure: the serial case must not
+		// heap-allocate (the eviction path asserts zero allocs/op).
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	p.forkJoin(n, w, fn)
+}
+
+// forkJoin is ParallelFor's parallel branch: workers 1..w-1 are forked
+// per call over their contiguous chunks, worker 0 runs its chunk on
+// the calling goroutine, and all are joined before returning.
+func (p *Pool) forkJoin(n, w int, fn func(worker, i int)) {
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for k := 1; k < w; k++ {
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(k, i)
+			}
+		}(k, k*n/w, (k+1)*n/w)
+	}
+	for i := 0; i < n/w; i++ {
+		fn(0, i)
+	}
+	wg.Wait()
+}

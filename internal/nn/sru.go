@@ -72,6 +72,13 @@ func (s *SRU) NewCache() *CellCache {
 	return newCellCache(s.In, 2*h, h, h, h, h, h, h)
 }
 
+// Shadow implements Cell.
+func (s *SRU) Shadow() Cell {
+	return &SRU{In: s.In, HiddenN: s.HiddenN,
+		W: s.W.shadowOf(), Wf: s.Wf.shadowOf(), Bf: s.Bf.shadowOf(),
+		Wr: s.Wr.shadowOf(), Br: s.Br.shadowOf(), Wh: s.Wh.shadowOf()}
+}
+
 // Step implements Cell. out may alias prev.
 func (s *SRU) Step(x, prev []float64, cache *CellCache, out []float64) {
 	H := s.HiddenN

@@ -26,7 +26,14 @@ type TrainConfig struct {
 	Batch     int     // sequences per Adam step
 	MaxSeq    int     // truncate sequences to their last MaxSeq interarrivals
 	Survival  bool    // include the survival-probability loss term (Eq. 5)
-	Seed      int64
+	// Workers is the number of goroutines Fit fans each minibatch (and
+	// the validation pass) out over; 0 or 1 runs serially. Results are
+	// bit-identical for every value — gradient shards are reduced in
+	// fixed sequence order and every sequence owns its RNG stream — so
+	// Workers is purely a throughput knob. runtime.GOMAXPROCS(0)
+	// (nn.DefaultWorkers) is the hardware optimum.
+	Workers int
+	Seed    int64
 }
 
 func (c *TrainConfig) defaults() {
@@ -60,10 +67,54 @@ type TrainResult struct {
 	Parameters int
 }
 
+// fitState carries the reusable buffers of one Fit run: the per-slot
+// shadow replicas (slot i of a minibatch accumulates sequence i's
+// gradients; the validation pass reuses one shadow per worker), the
+// per-slot RNGs, and the slot-ordered loss/term/seed arrays every
+// parallel section writes into.
+type fitState struct {
+	pool    *Pool
+	shadows []*Net
+	rngs    []*stats.RNG
+	seeds   []int64
+	loss    []float64
+	terms   []int
+}
+
+func newFitState(n *Net, tc TrainConfig, nVal int) *fitState {
+	st := &fitState{pool: NewPool(tc.Workers)}
+	slots := tc.Batch
+	if w := st.pool.Workers(); slots < w {
+		slots = w
+	}
+	st.shadows = make([]*Net, slots)
+	st.rngs = make([]*stats.RNG, slots)
+	for i := range st.shadows {
+		st.shadows[i] = n.Shadow()
+		st.rngs[i] = stats.NewRNG(0) // reseeded before every use
+	}
+	st.seeds = make([]int64, tc.Batch)
+	size := tc.Batch
+	if nVal > size {
+		size = nVal
+	}
+	st.loss = make([]float64, size)
+	st.terms = make([]int, size)
+	return st
+}
+
 // Fit trains the network on data by maximizing Eq. 5 (log-likelihood
 // of observed residuals plus survival probability of open intervals)
 // with Adam, early-stopping on a withheld validation split. Fit may be
 // called repeatedly (warm start); Version increments on return.
+//
+// Minibatches are data-parallel across tc.Workers goroutines with a
+// deterministic reduction: each sequence accumulates into its own
+// shadow gradient buffer, drawn ages come from a per-sequence RNG
+// stream seeded serially from the master RNG, and shards are reduced
+// into the optimizer's gradients in sequence-index order. Adam
+// therefore sees byte-identical gradients — and Fit returns
+// byte-identical results — for every worker count.
 func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 	tc.defaults()
 	res := TrainResult{Sequences: len(data), Parameters: n.NumParams()}
@@ -79,6 +130,7 @@ func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 	}
 	val, train := idx[:nVal], idx[nVal:]
 
+	st := newFitState(n, tc, nVal)
 	opt := NewAdam(tc.LR, n.params)
 	best := math.Inf(1)
 	bestW := n.snapshot()
@@ -89,17 +141,37 @@ func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 		g.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
 		terms := 0
 		lossSum := 0.0
-		batchTerms := 0
-		for bi, ti := range train {
-			l, t := n.forwardBackward(&data[ti], g, tc, true)
-			lossSum += l
-			terms += t
-			batchTerms += t
-			if (bi+1)%tc.Batch == 0 || bi == len(train)-1 {
-				if batchTerms > 0 {
-					opt.Step(1 / float64(batchTerms))
+		for start := 0; start < len(train); start += tc.Batch {
+			end := start + tc.Batch
+			if end > len(train) {
+				end = len(train)
+			}
+			bl := end - start
+			// Per-sequence seeds come off the master RNG serially, so
+			// its stream never depends on the worker count.
+			for i := 0; i < bl; i++ {
+				st.seeds[i] = g.Int63()
+			}
+			st.pool.ParallelFor(bl, func(w, i int) {
+				sh := st.shadows[i]
+				sh.zeroGrad()
+				rng := st.rngs[i]
+				rng.Reseed(st.seeds[i])
+				st.loss[i], st.terms[i] = sh.forwardBackward(&data[train[start+i]], rng, tc, true)
+			})
+			// Fixed-order reduction: shard gradients fold into the
+			// master in sequence-index order, never worker order.
+			batchTerms := 0
+			for i := 0; i < bl; i++ {
+				lossSum += st.loss[i]
+				terms += st.terms[i]
+				batchTerms += st.terms[i]
+				for pi, p := range n.params {
+					axpy(1, st.shadows[i].params[pi].G, p.G)
 				}
-				batchTerms = 0
+			}
+			if batchTerms > 0 {
+				opt.Step(1 / float64(batchTerms))
 			}
 		}
 		if terms > 0 {
@@ -107,11 +179,13 @@ func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 		}
 		res.Terms = terms
 
+		st.pool.ParallelFor(len(val), func(w, vi int) {
+			st.loss[vi], st.terms[vi] = st.shadows[w].forwardBackward(&data[val[vi]], nil, tc, false)
+		})
 		vLoss, vTerms := 0.0, 0
-		for _, vi := range val {
-			l, t := n.forwardBackward(&data[vi], nil, tc, false)
-			vLoss += l
-			vTerms += t
+		for vi := range val {
+			vLoss += st.loss[vi]
+			vTerms += st.terms[vi]
 		}
 		cur := res.TrainNLL
 		if vTerms > 0 {
@@ -137,7 +211,9 @@ func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 // forwardBackward runs one sequence through the network, returning the
 // summed loss and the number of loss terms. With train=true it
 // accumulates parameter gradients (ages drawn ~ U[0, τ] per Eq. 5);
-// with train=false it evaluates deterministically (age = τ/2).
+// with train=false it evaluates deterministically (age = τ/2). It is
+// called on shadow replicas from Fit's worker goroutines, so it must
+// only touch n's own (per-shadow) state plus the shared weights.
 func (n *Net) forwardBackward(seq *Sequence, g *stats.RNG, tc TrainConfig, train bool) (float64, int) {
 	taus := seq.Taus
 	if tc.MaxSeq > 0 && len(taus) > tc.MaxSeq {

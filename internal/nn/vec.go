@@ -6,27 +6,62 @@
 // optimizer. Gradients are hand-derived and verified against finite
 // differences in the package tests.
 //
-// The package is deliberately scalar and single-threaded: the networks
-// Raven trains are tiny (tens of thousands of parameters), so clarity
-// and determinism win over parallelism.
+// The networks Raven trains are tiny (thousands of parameters), so
+// the kernels stay plain Go — but they are tuned, not naive: the
+// matrix-vector products run 4-wide unrolled accumulator chains that
+// break the floating-point dependency chain, and the training loop
+// exploits data parallelism across sequences through the fork-join
+// Pool in pool.go (the package's single sanctioned source of
+// goroutines, enforced by ravenlint's goroutine-outside-pool rule).
+//
+// Determinism contract: every parallel code path in this package is
+// bit-exact for any worker count. Work is partitioned by index, each
+// shard accumulates into private buffers, and reductions run serially
+// in fixed index order, so Workers=1 and Workers=N produce identical
+// bytes (see DESIGN.md "Parallel execution & determinism").
 package nn
 
 // axpy computes y += a*x.
 func axpy(a float64, x, y []float64) {
-	for i, xi := range x {
-		y[i] += a * xi
+	if len(x) == 0 {
+		return
+	}
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
 	}
 }
 
 // matVec computes y = W*x + y0 where W is rows×cols row-major, len(x)
 // = cols, len(y) = rows. y is overwritten with W*x when y0 is nil,
 // otherwise y = W*x + y0 (y and y0 may alias).
+//
+// The dot product runs four independent accumulator chains and
+// combines them as (s0+s1)+(s2+s3); the association is fixed, so the
+// result is deterministic (and identical for every worker count),
+// just not bit-identical to a single-chain sum.
 func matVec(w []float64, rows, cols int, x, y0, y []float64) {
+	x = x[:cols]
 	for r := 0; r < rows; r++ {
-		row := w[r*cols : (r+1)*cols]
-		s := 0.0
-		for c, xc := range x {
-			s += row[c] * xc
+		row := w[r*cols : r*cols+cols]
+		var s0, s1, s2, s3 float64
+		c := 0
+		for ; c+4 <= cols; c += 4 {
+			s0 += row[c] * x[c]
+			s1 += row[c+1] * x[c+1]
+			s2 += row[c+2] * x[c+2]
+			s3 += row[c+3] * x[c+3]
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for ; c < cols; c++ {
+			s += row[c] * x[c]
 		}
 		if y0 != nil {
 			s += y0[r]
@@ -35,15 +70,44 @@ func matVec(w []float64, rows, cols int, x, y0, y []float64) {
 	}
 }
 
+// matVecAdd computes y += U*x for a square h×h matrix U.
+func matVecAdd(uw []float64, h int, x, y []float64) {
+	x = x[:h]
+	for r := 0; r < h; r++ {
+		row := uw[r*h : r*h+h]
+		var s0, s1, s2, s3 float64
+		c := 0
+		for ; c+4 <= h; c += 4 {
+			s0 += row[c] * x[c]
+			s1 += row[c+1] * x[c+1]
+			s2 += row[c+2] * x[c+2]
+			s3 += row[c+3] * x[c+3]
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for ; c < h; c++ {
+			s += row[c] * x[c]
+		}
+		y[r] += s
+	}
+}
+
 // matTVecAdd computes dx += W^T * dy.
 func matTVecAdd(w []float64, rows, cols int, dy, dx []float64) {
+	dx = dx[:cols]
 	for r := 0; r < rows; r++ {
-		row := w[r*cols : (r+1)*cols]
+		row := w[r*cols : r*cols+cols]
 		d := dy[r]
 		if d == 0 { //lint:allow float-equal exact zero skips dead gradient rows; bit-exact by design
 			continue
 		}
-		for c := 0; c < cols; c++ {
+		c := 0
+		for ; c+4 <= cols; c += 4 {
+			dx[c] += row[c] * d
+			dx[c+1] += row[c+1] * d
+			dx[c+2] += row[c+2] * d
+			dx[c+3] += row[c+3] * d
+		}
+		for ; c < cols; c++ {
 			dx[c] += row[c] * d
 		}
 	}
@@ -51,14 +115,22 @@ func matTVecAdd(w []float64, rows, cols int, dy, dx []float64) {
 
 // outerAdd accumulates dW += dy ⊗ x (rank-one update).
 func outerAdd(dw []float64, rows, cols int, dy, x []float64) {
+	x = x[:cols]
 	for r := 0; r < rows; r++ {
 		d := dy[r]
 		if d == 0 { //lint:allow float-equal exact zero skips dead gradient rows; bit-exact by design
 			continue
 		}
-		row := dw[r*cols : (r+1)*cols]
-		for c, xc := range x {
-			row[c] += d * xc
+		row := dw[r*cols : r*cols+cols]
+		c := 0
+		for ; c+4 <= cols; c += 4 {
+			row[c] += d * x[c]
+			row[c+1] += d * x[c+1]
+			row[c+2] += d * x[c+2]
+			row[c+3] += d * x[c+3]
+		}
+		for ; c < cols; c++ {
+			row[c] += d * x[c]
 		}
 	}
 }
@@ -68,3 +140,15 @@ func zero(x []float64) {
 		x[i] = 0
 	}
 }
+
+// Exported kernel entry points: cmd/ravenbench times these directly,
+// and they are the natural seam for a future SIMD or assembly backend.
+
+// MatVec computes y = W*x (+ y0 when non-nil); see matVec.
+func MatVec(w []float64, rows, cols int, x, y0, y []float64) { matVec(w, rows, cols, x, y0, y) }
+
+// MatTVecAdd computes dx += W^T * dy; see matTVecAdd.
+func MatTVecAdd(w []float64, rows, cols int, dy, dx []float64) { matTVecAdd(w, rows, cols, dy, dx) }
+
+// OuterAdd accumulates dW += dy ⊗ x; see outerAdd.
+func OuterAdd(dw []float64, rows, cols int, dy, x []float64) { outerAdd(dw, rows, cols, dy, x) }

@@ -40,6 +40,10 @@ type Options struct {
 	EntriesEstimate int
 	// Seed makes stochastic policies deterministic.
 	Seed int64
+	// Workers is Raven's goroutine fan-out for training and eviction
+	// inference (0 or 1 = serial). Results are bit-identical for every
+	// value, so it only changes throughput.
+	Workers int
 	// Raven optionally overrides the default Raven configuration; its
 	// TrainWindow/Goal/Seed are filled from this Options if zero.
 	Raven *core.Config
@@ -76,6 +80,9 @@ func (o Options) ravenConfig(goal core.Goal) core.Config {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = o.Seed + 77
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = o.Workers
 	}
 	return cfg
 }

@@ -25,8 +25,21 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed resets the generator to the deterministic stream of seed, in
+// place and without allocating. Parallel code uses it to give each
+// work item its own stream from a scratch generator: seeds are drawn
+// serially from a master RNG, then each item's variates depend only
+// on its seed — never on which worker processed it — which is how the
+// parallel training and eviction paths stay bit-exact for any worker
+// count.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Float64 returns a uniform variate in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Int63 returns a uniform int64 in [0, 1<<63). Its main use is
+// drawing per-item seeds for Reseed.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (g *RNG) Intn(n int) int { return g.r.Intn(n) }

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# bench.sh — run the ravenbench performance harness.
+#
+# Writes BENCH_<date>.json into the repo root (override with -out DIR).
+# Pass -quick for a fast smoke run; see cmd/ravenbench for all flags.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+go run ./cmd/ravenbench "$@"

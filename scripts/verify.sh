@@ -14,10 +14,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Packages with real concurrency: the parallel simulator, the TCP
-# server, the experiment harness that fans out runs, and the cache
+# Packages with real concurrency: the parallel training and eviction
+# layer (nn.Pool and its users in core), the parallel simulator, the
+# TCP server, the experiment harness that fans out runs, and the cache
 # engine they all share.
-RACE_PKGS="./internal/sim/... ./internal/server/... ./internal/experiments/... ./internal/cache/..."
+RACE_PKGS="./internal/nn/... ./internal/core/... ./internal/sim/... ./internal/server/... ./internal/experiments/... ./internal/cache/..."
 
 echo "==> go vet ./..."
 go vet ./...
@@ -38,5 +39,8 @@ fi
 
 echo "==> go run ./cmd/ravenlint ./..."
 go run ./cmd/ravenlint ./...
+
+echo "==> benchmark smoke (-benchtime=1x)"
+go test -run='^$' -bench=. -benchtime=1x ./internal/nn/... ./internal/core/... >/dev/null
 
 echo "verify: OK"
