@@ -9,7 +9,13 @@
 //
 //	GET <key> <size> [time]  →  HIT <size> | MISS <size>
 //	STATS                    →  STATS <requests> <hits> <reqBytes> <hitBytes>
+//	METRICS                  →  METRICS <n> followed by n "name value" lines
 //	QUIT
+//
+// The server shuts down cleanly on SIGINT or SIGTERM: it stops
+// accepting, drains in-flight connections up to -drain, force-closes
+// stragglers, and prints final statistics either way. -metricsevery
+// periodically logs the full metrics snapshot to stdout.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"raven/internal/policy"
@@ -24,6 +31,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main body so deferred cleanup (final stats,
+// server drain) executes before the process exits; os.Exit in main
+// would skip it.
+func run() int {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
 		capacity = flag.Int64("capacity", 64<<20, "cache capacity in bytes")
@@ -32,6 +46,12 @@ func main() {
 		cacheMS  = flag.Int("cachedelay", 0, "simulated per-request delay (ms)")
 		originMS = flag.Int("origindelay", 0, "simulated per-miss origin delay (ms)")
 		seed     = flag.Int64("seed", 42, "random seed")
+
+		maxConns     = flag.Int("maxconns", 0, "max concurrent connections (0 = unlimited); excess dials get ERR busy")
+		idleTimeout  = flag.Duration("idletimeout", 0, "per-request read deadline (0 = 2m default, negative = off)")
+		writeTimeout = flag.Duration("writetimeout", 0, "per-response write deadline (0 = 30s default, negative = off)")
+		drain        = flag.Duration("drain", 0, "graceful drain bound on shutdown (0 = 5s default, negative = wait forever)")
+		metricsEvery = flag.Duration("metricsevery", 0, "log a metrics snapshot line this often (0 = off)")
 	)
 	flag.Parse()
 
@@ -42,25 +62,57 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ravencached:", err)
-		os.Exit(1)
+		return 1
 	}
 	srv, err := server.New(server.Config{
-		Addr:        *addr,
-		Capacity:    *capacity,
-		Policy:      p,
-		CacheDelay:  time.Duration(*cacheMS) * time.Millisecond,
-		OriginDelay: time.Duration(*originMS) * time.Millisecond,
+		Addr:         *addr,
+		Capacity:     *capacity,
+		Policy:       p,
+		CacheDelay:   time.Duration(*cacheMS) * time.Millisecond,
+		OriginDelay:  time.Duration(*originMS) * time.Millisecond,
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ravencached:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("ravencached: policy=%s capacity=%d listening on %s\n", *polName, *capacity, srv.Addr())
 
+	// Final stats print and drain run deferred so they happen on
+	// either signal (and in this order: stats reflect the fully
+	// drained server because Close runs first).
+	defer func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ravencached: close:", err)
+		}
+		st := srv.Stats()
+		fmt.Printf("\nravencached: %d requests, OHR %.4f, BHR %.4f\n", st.Requests, st.OHR(), st.BHR())
+		fmt.Printf("ravencached: final metrics: %s\n", srv.Metrics().Line())
+	}()
+
+	stopTicker := make(chan struct{})
+	defer close(stopTicker)
+	if *metricsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*metricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopTicker:
+					return
+				case <-t.C:
+					fmt.Printf("ravencached: metrics: %s\n", srv.Metrics().Line())
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	st := srv.Stats()
-	fmt.Printf("\nravencached: %d requests, OHR %.4f, BHR %.4f\n", st.Requests, st.OHR(), st.BHR())
-	srv.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("\nravencached: received %v, draining\n", got)
+	return 0
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"raven/internal/obs"
 	"raven/internal/trace"
 )
 
@@ -118,12 +119,25 @@ type Cache struct {
 	policy   Policy
 	stats    Stats
 	observer func(victim Key)
+	obs      *obs.CacheObs
 }
 
 // SetEvictionObserver registers fn, invoked with every victim just
 // before it is removed (while it is still resident). The simulator
 // uses this for rank-order error measurement; passing nil disables it.
 func (c *Cache) SetEvictionObserver(fn func(victim Key)) { c.observer = fn }
+
+// SetObs attaches live observability metrics (occupancy gauges and
+// request/eviction counters), updated inline on every request. The
+// updates are a few atomic ops and never allocate, so attaching
+// metrics does not perturb what they measure. Passing nil detaches.
+func (c *Cache) SetObs(m *obs.CacheObs) {
+	c.obs = m
+	if m != nil {
+		m.UsedBytes.Set(c.used)
+		m.Objects.Set(int64(len(c.entries)))
+	}
+}
 
 // New creates a cache of the given byte capacity driven by policy.
 // It panics if capacity is not positive or policy is nil.
@@ -185,27 +199,33 @@ func (c *Cache) Keys(dst []Key) []Key {
 func (c *Cache) Handle(req Request) bool {
 	c.stats.Requests++
 	c.stats.ReqBytes += req.Size
+	if c.obs != nil {
+		c.obs.Requests.Inc()
+	}
 	if e, ok := c.entries[req.Key]; ok {
 		c.stats.Hits++
 		c.stats.HitBytes += req.Size
 		e.hits++
 		c.entries[req.Key] = e
+		if c.obs != nil {
+			c.obs.Hits.Inc()
+		}
 		c.policy.OnHit(req)
 		return true
 	}
 	c.policy.OnMiss(req)
 	if req.Size > c.capacity {
-		c.stats.Rejections++
+		c.reject()
 		return false
 	}
 	if adm, ok := c.policy.(Admitter); ok && !adm.ShouldAdmit(req) {
-		c.stats.Rejections++
+		c.reject()
 		return false
 	}
 	for c.used+req.Size > c.capacity {
 		victim, ok := c.policy.Victim()
 		if !ok {
-			c.stats.Rejections++
+			c.reject()
 			return false
 		}
 		c.evict(victim)
@@ -214,7 +234,19 @@ func (c *Cache) Handle(req Request) bool {
 	c.used += req.Size
 	c.stats.Admissions++
 	c.policy.OnAdmit(req)
+	if c.obs != nil {
+		c.obs.Admissions.Inc()
+		c.obs.UsedBytes.Set(c.used)
+		c.obs.Objects.Set(int64(len(c.entries)))
+	}
 	return false
+}
+
+func (c *Cache) reject() {
+	c.stats.Rejections++
+	if c.obs != nil {
+		c.obs.Rejections.Inc()
+	}
 }
 
 func (c *Cache) evict(key Key) {
@@ -230,6 +262,11 @@ func (c *Cache) evict(key Key) {
 	c.stats.Evictions++
 	if e.hits == 0 {
 		c.stats.OneHitWonders++
+	}
+	if c.obs != nil {
+		c.obs.Evictions.Inc()
+		c.obs.UsedBytes.Set(c.used)
+		c.obs.Objects.Set(int64(len(c.entries)))
 	}
 	c.policy.OnEvict(key)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"raven/internal/obs"
 	"raven/internal/stats"
 )
 
@@ -277,5 +278,48 @@ func TestSampledSetSwapDeleteConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCacheObsWiring: attached obs metrics mirror the engine's own
+// statistics and occupancy exactly, and detach cleanly.
+func TestCacheObsWiring(t *testing.T) {
+	c := New(10, newTestLRU())
+	var co obs.CacheObs
+	c.SetObs(&co)
+	c.Handle(req(1, 1, 4)) // miss, admit
+	c.Handle(req(2, 1, 4)) // hit
+	c.Handle(req(3, 2, 8)) // miss, evicts 1, admit
+	c.Handle(req(4, 3, 20)) // oversized: reject
+
+	st := c.Stats()
+	if co.Requests.Load() != st.Requests || co.Hits.Load() != st.Hits {
+		t.Errorf("obs (%d req, %d hits) != stats (%d, %d)",
+			co.Requests.Load(), co.Hits.Load(), st.Requests, st.Hits)
+	}
+	if co.Evictions.Load() != st.Evictions || co.Admissions.Load() != st.Admissions ||
+		co.Rejections.Load() != st.Rejections {
+		t.Errorf("obs (%d ev, %d adm, %d rej) != stats (%d, %d, %d)",
+			co.Evictions.Load(), co.Admissions.Load(), co.Rejections.Load(),
+			st.Evictions, st.Admissions, st.Rejections)
+	}
+	if co.UsedBytes.Load() != c.Used() || co.Objects.Load() != int64(c.Len()) {
+		t.Errorf("obs occupancy (%d B, %d obj) != cache (%d, %d)",
+			co.UsedBytes.Load(), co.Objects.Load(), c.Used(), c.Len())
+	}
+
+	// Attaching to a warm cache seeds the gauges immediately.
+	var co2 obs.CacheObs
+	c.SetObs(&co2)
+	if co2.UsedBytes.Load() != c.Used() || co2.Objects.Load() != int64(c.Len()) {
+		t.Error("SetObs did not seed occupancy gauges")
+	}
+
+	// Detach: further traffic must not touch the old metrics.
+	c.SetObs(nil)
+	before := co2.Requests.Load()
+	c.Handle(req(5, 2, 8))
+	if co2.Requests.Load() != before {
+		t.Error("detached obs still receiving updates")
 	}
 }

@@ -54,6 +54,7 @@ func DefaultRules() []Rule {
 		ruleGoLoopCapture(),
 		ruleUnsyncedCounter(),
 		ruleGoroutineOutsidePool(),
+		ruleDeadlineOnConn(),
 		ruleNoPanic(),
 		ruleFloatEqual(),
 		ruleUncheckedError(),

@@ -373,6 +373,82 @@ func f() {
 `,
 		},
 
+		// ---- deadline-on-conn ----
+		{
+			name:    "blocking conn read without deadline in internal/server is flagged",
+			relfile: "internal/server/handler.go",
+			src: `package server
+import "net"
+func f(conn net.Conn) {
+	buf := make([]byte, 16)
+	conn.Read(buf)
+}
+`,
+			want: []string{"5:[deadline-on-conn]"},
+		},
+		{
+			name:    "deadline armed before the read is allowed",
+			relfile: "internal/server/handler.go",
+			src: `package server
+import (
+	"net"
+	"time"
+)
+func f(conn net.Conn) {
+	conn.SetReadDeadline(time.Time{})
+	buf := make([]byte, 16)
+	conn.Read(buf)
+}
+`,
+		},
+		{
+			name:    "bufio scanner over a conn without deadline is flagged",
+			relfile: "internal/server/handler.go",
+			src: `package server
+import (
+	"bufio"
+	"net"
+)
+func f(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+	}
+}
+`,
+			want: []string{"8:[deadline-on-conn]"},
+		},
+		{
+			name:    "a helper whose name mentions deadline satisfies the rule",
+			relfile: "internal/server/client_fixture.go",
+			src: `package server
+import (
+	"bufio"
+	"net"
+	"time"
+)
+type cl struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+func (c *cl) armDeadline() { c.conn.SetDeadline(time.Time{}) }
+func (c *cl) get() (string, error) {
+	c.armDeadline()
+	return c.r.ReadString('\n')
+}
+`,
+		},
+		{
+			name:    "blocking conn I/O outside internal/server is not flagged",
+			relfile: "internal/trace/netio.go",
+			src: `package trace
+import "net"
+func f(conn net.Conn) {
+	buf := make([]byte, 16)
+	conn.Read(buf)
+}
+`,
+		},
+
 		// ---- no-panic ----
 		{
 			name: "panic in library code is flagged",

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // lockTypes are the sync types that must never be copied.
@@ -296,6 +298,94 @@ func ruleGoroutineOutsidePool() Rule {
 					return true
 				})
 			}
+			return out
+		},
+	}
+}
+
+// blockingIONames are method names that can block on a connection or
+// on a bufio wrapper around one.
+var blockingIONames = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Scan": true, "ReadString": true, "ReadBytes": true, "ReadSlice": true,
+	"ReadLine": true, "ReadRune": true, "ReadByte": true,
+	"WriteString": true, "WriteByte": true, "WriteRune": true, "Flush": true,
+}
+
+// blocksOnConn reports whether sel's receiver is a net connection type
+// or a bufio wrapper — the I/O types whose blocking calls the
+// deadline-on-conn rule covers.
+func (p *Package) blocksOnConn(sel *ast.SelectorExpr) bool {
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := types.Unalias(tv.Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "net":
+		return strings.Contains(obj.Name(), "Conn")
+	case "bufio":
+		return true
+	}
+	return false
+}
+
+// ruleDeadlineOnConn enforces the server's lifecycle invariant: every
+// function in internal/server that does blocking I/O on a net.Conn
+// (directly or through a bufio wrapper) must arm a deadline in the
+// same function — a call to SetDeadline/SetReadDeadline/
+// SetWriteDeadline or to a helper whose name mentions "deadline".
+// Without a deadline, one slow-loris peer parks a goroutine forever
+// and defeats the graceful drain bound (DESIGN.md "Operational
+// hardening & observability").
+func ruleDeadlineOnConn() Rule {
+	const id = "deadline-on-conn"
+	return Rule{
+		ID:  id,
+		Doc: "blocking conn/bufio I/O in internal/server must arm a deadline in the same function",
+		Check: func(p *Package) []Finding {
+			var out []Finding
+			p.eachFunc(func(file *ast.File, decl *ast.FuncDecl) {
+				if !underDirs(p.relFile(file), "internal/server") {
+					return
+				}
+				firstBlocking := token.NoPos
+				hasDeadline := false
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					name := sel.Sel.Name
+					if strings.Contains(strings.ToLower(name), "deadline") {
+						hasDeadline = true
+						return true
+					}
+					if blockingIONames[name] && p.blocksOnConn(sel) && firstBlocking == token.NoPos {
+						firstBlocking = call.Pos()
+					}
+					return true
+				})
+				if firstBlocking != token.NoPos && !hasDeadline {
+					out = append(out, p.finding(id, firstBlocking,
+						"%s does blocking connection I/O without arming a deadline; call Set(Read|Write)Deadline or a *Deadline helper first", decl.Name.Name))
+				}
+			})
 			return out
 		},
 	}

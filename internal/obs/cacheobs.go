@@ -1,0 +1,31 @@
+package obs
+
+// CacheObs is the cache engine's observability surface: occupancy
+// gauges plus the request/eviction counters operators watch. The
+// engine updates it inline (a handful of atomic ops per request, no
+// allocation) when one is attached via cache.SetObs; the server and
+// simulator attach the same struct so live METRICS totals reconcile
+// exactly with the engine's own cache.Stats accounting.
+type CacheObs struct {
+	// UsedBytes and Objects track live occupancy.
+	UsedBytes Gauge
+	Objects   Gauge
+
+	Requests   Counter
+	Hits       Counter
+	Evictions  Counter
+	Admissions Counter
+	Rejections Counter
+}
+
+// Register adds every CacheObs metric to r under prefix (e.g.
+// "cache"), in a fixed order so snapshots stay deterministic.
+func (co *CacheObs) Register(r *Registry, prefix string) {
+	r.adoptGauge(prefix+".used_bytes", &co.UsedBytes)
+	r.adoptGauge(prefix+".objects", &co.Objects)
+	r.adoptCounter(prefix+".requests", &co.Requests)
+	r.adoptCounter(prefix+".hits", &co.Hits)
+	r.adoptCounter(prefix+".evictions", &co.Evictions)
+	r.adoptCounter(prefix+".admissions", &co.Admissions)
+	r.adoptCounter(prefix+".rejections", &co.Rejections)
+}

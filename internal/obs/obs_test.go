@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Load())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Load() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Load())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1..100 microseconds in nanoseconds.
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Max != 100000 {
+		t.Fatalf("max = %d, want 100000", s.Max)
+	}
+	// Power-of-two buckets: a reported quantile is >= the true value
+	// and at most 2x it.
+	checks := []struct {
+		name       string
+		got, exact int64
+	}{
+		{"p50", s.P50, 50000},
+		{"p90", s.P90, 90000},
+		{"p99", s.P99, 99000},
+	}
+	for _, c := range checks {
+		if c.got < c.exact || c.got > 2*c.exact {
+			t.Errorf("%s = %d, want in [%d, %d]", c.name, c.got, c.exact, 2*c.exact)
+		}
+	}
+	if s.Mean < 50000 || s.Mean > 51000 {
+		t.Errorf("mean = %d, want ~50500", s.Mean)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5) // clamped to 0
+	h.Observe(1)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Max != 1 {
+		t.Fatalf("max = %d, want 1", s.Max)
+	}
+	if s.P50 != 0 {
+		t.Fatalf("p50 = %d, want 0", s.P50)
+	}
+}
+
+// TestHotPathAllocFree pins the contract the server relies on: metric
+// updates on the request path never allocate.
+func TestHotPathAllocFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(123)
+		h.Observe(4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Max != workers*per-1 {
+		t.Fatalf("max = %d, want %d", s.Max, workers*per-1)
+	}
+}
+
+func TestRegistrySnapshotOrderAndReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	g := r.Gauge("g")
+	h := r.Histogram("lat")
+	a.Add(3)
+	g.Set(-2)
+	h.Observe(5)
+
+	if r.Counter("a") != a {
+		t.Error("Counter(name) did not return the registered counter")
+	}
+	if r.Gauge("g") != g {
+		t.Error("Gauge(name) did not return the registered gauge")
+	}
+	if r.Histogram("lat") != h {
+		t.Error("Histogram(name) did not return the registered histogram")
+	}
+	// Kind collision returns a detached metric, never corrupts entries.
+	if r.Counter("g") == nil {
+		t.Error("kind collision should return a fresh counter")
+	}
+
+	kvs := r.Snapshot()
+	names := make([]string, len(kvs))
+	for i, kv := range kvs {
+		names[i] = kv.Name
+	}
+	want := []string{"a", "g", "lat.count", "lat.mean", "lat.p50", "lat.p90", "lat.p99", "lat.max"}
+	if len(names) != len(want) {
+		t.Fatalf("snapshot names %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+	if kvs[0].Value != 3 || kvs[1].Value != -2 {
+		t.Errorf("snapshot values %v", kvs[:2])
+	}
+}
+
+func TestRegistryRenderers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(2)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "x 1\ny 2\n" {
+		t.Errorf("WriteTo = %q", sb.String())
+	}
+	if line := r.Line(); line != "x=1 y=2" {
+		t.Errorf("Line = %q", line)
+	}
+}
+
+func TestCacheObsRegister(t *testing.T) {
+	r := NewRegistry()
+	var co CacheObs
+	co.Register(r, "cache")
+	co.Requests.Inc()
+	co.UsedBytes.Set(64)
+	kvs := r.Snapshot()
+	got := make(map[string]int64, len(kvs))
+	for _, kv := range kvs {
+		got[kv.Name] = kv.Value
+	}
+	if got["cache.requests"] != 1 || got["cache.used_bytes"] != 64 {
+		t.Errorf("snapshot %v", got)
+	}
+	if len(kvs) != 7 {
+		t.Errorf("want 7 cache metrics, got %d", len(kvs))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -13,11 +14,29 @@ import (
 
 // Client replays traces against a Server over TCP and measures what
 // Table 3 reports: latency percentiles, backend traffic, and
-// throughput.
+// throughput. It survives a faulty server or network: every request
+// runs under an optional deadline, and Replay transparently
+// reconnects with exponential backoff when a request fails.
 type Client struct {
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	// Timeout bounds each request round trip (write + reply read);
+	// 0 means no deadline.
+	Timeout time.Duration
+	// MaxRetries is how many reconnect-and-resend attempts Replay
+	// makes per request before giving up (0 = fail on first error).
+	MaxRetries int
+	// RetryBackoff is the initial backoff before a retry, doubling per
+	// attempt up to 1s. 0 applies a 10ms default.
+	RetryBackoff time.Duration
+
+	// Retries and Reconnects count recovery events across the
+	// client's lifetime; Replay copies them into its result.
+	Retries    int64
+	Reconnects int64
 }
 
 // Dial connects to a server.
@@ -26,12 +45,38 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{addr: addr, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// armDeadline applies the per-request deadline to the connection (or
+// clears it when Timeout is zero).
+func (c *Client) armDeadline() {
+	var dl time.Time
+	if c.Timeout > 0 {
+		dl = time.Now().Add(c.Timeout)
+	}
+	_ = c.conn.SetDeadline(dl)
+}
+
+// reconnect replaces the connection with a fresh dial to the same
+// address.
+func (c *Client) reconnect() error {
+	_ = c.conn.Close()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("client: redial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.r.Reset(conn)
+	c.w.Reset(conn)
+	c.Reconnects++
+	return nil
 }
 
 // Close terminates the connection. A flush failure is reported unless
 // closing the socket fails first.
 func (c *Client) Close() error {
+	c.armDeadline()
 	fmt.Fprintf(c.w, "QUIT\n")
 	flushErr := c.w.Flush()
 	if err := c.conn.Close(); err != nil {
@@ -40,8 +85,11 @@ func (c *Client) Close() error {
 	return flushErr
 }
 
-// Get requests one object and reports whether it hit.
+// Get requests one object and reports whether it hit. The round trip
+// runs under the client's Timeout; it does not retry (see getRetry /
+// Replay for the self-healing path).
 func (c *Client) Get(key trace.Key, size int64, ts int64) (bool, error) {
+	c.armDeadline()
 	if ts >= 0 {
 		fmt.Fprintf(c.w, "GET %d %d %d\n", key, size, ts)
 	} else {
@@ -64,12 +112,87 @@ func (c *Client) Get(key trace.Key, size int64, ts int64) (bool, error) {
 	}
 }
 
+// getRetry is Get plus recovery: on failure it reconnects with
+// exponential backoff and resends, up to MaxRetries attempts. A
+// request the server sheds with "ERR busy" lands here too — the
+// backoff gives the server room to drain before the retry.
+func (c *Client) getRetry(key trace.Key, size int64, ts int64) (bool, error) {
+	hit, err := c.Get(key, size, ts)
+	if err == nil {
+		return hit, nil
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for attempt := 0; attempt < c.MaxRetries; attempt++ {
+		c.Retries++
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		if rerr := c.reconnect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		hit, err = c.Get(key, size, ts)
+		if err == nil {
+			return hit, nil
+		}
+	}
+	return false, fmt.Errorf("client: giving up after %d retries: %w", c.MaxRetries, err)
+}
+
+// Metrics issues a METRICS command and returns the server's metric
+// snapshot as a name → value map.
+func (c *Client) Metrics() (map[string]int64, error) {
+	c.armDeadline()
+	fmt.Fprintf(c.w, "METRICS\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	header, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 2 || fields[0] != "METRICS" {
+		return nil, fmt.Errorf("client: unexpected METRICS header %q", strings.TrimSpace(header))
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("client: bad METRICS count %q", fields[1])
+	}
+	out := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		kv := strings.Fields(line)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("client: bad METRICS line %q", strings.TrimSpace(line))
+		}
+		v, err := strconv.ParseInt(kv[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad METRICS value %q: %w", strings.TrimSpace(line), err)
+		}
+		out[kv[0]] = v
+	}
+	return out, nil
+}
+
 // ReplayResult aggregates a replay's measurements.
 type ReplayResult struct {
 	Requests int
 	Hits     int
 	ReqBytes int64
 	HitBytes int64
+
+	// Retries and Reconnects count the recovery events the replay
+	// needed to complete (0 on a healthy server).
+	Retries    int64
+	Reconnects int64
 
 	Latency stats.Summary // nanoseconds, measured over the wire
 	// Curve samples the cumulative hit ratios over time (Fig. 12).
@@ -106,7 +229,9 @@ func (r *ReplayResult) BackendBytes() int64 { return r.ReqBytes - r.HitBytes }
 
 // Replay sends every request of tr in order, measuring per-request
 // round-trip latency. curvePoints > 0 records the hit-ratio
-// trajectory.
+// trajectory. Failed requests are retried with reconnect-and-backoff
+// up to the client's MaxRetries, so a replay survives induced faults
+// and transient shedding.
 func (c *Client) Replay(tr *trace.Trace, curvePoints int) (*ReplayResult, error) {
 	res := &ReplayResult{}
 	lat := stats.NewReservoir(8192, 11)
@@ -117,10 +242,11 @@ func (c *Client) Replay(tr *trace.Trace, curvePoints int) (*ReplayResult, error)
 			every = 1
 		}
 	}
+	startRetries, startReconnects := c.Retries, c.Reconnects
 	start := time.Now()
 	for i, req := range tr.Reqs {
 		t0 := time.Now()
-		hit, err := c.Get(req.Key, req.Size, req.Time)
+		hit, err := c.getRetry(req.Key, req.Size, req.Time)
 		if err != nil {
 			return nil, fmt.Errorf("client: request %d: %w", i, err)
 		}
@@ -137,5 +263,7 @@ func (c *Client) Replay(tr *trace.Trace, curvePoints int) (*ReplayResult, error)
 	}
 	res.Wall = time.Since(start)
 	res.Latency = lat.Summary()
+	res.Retries = c.Retries - startRetries
+	res.Reconnects = c.Reconnects - startReconnects
 	return res, nil
 }

@@ -2,21 +2,32 @@
 // paper's §5.4 system experiment — our stand-in for the Apache Traffic
 // Server integration. It serves a line-based text protocol over TCP:
 //
-//	GET <key> <size>\n   →  HIT <size>\n | MISS <size>\n
-//	STATS\n              →  STATS <requests> <hits> <reqBytes> <hitBytes>\n
-//	QUIT\n               →  connection close
+//	GET <key> <size> [time]\n →  HIT <size>\n | MISS <size>\n
+//	STATS\n                   →  STATS <requests> <hits> <reqBytes> <hitBytes>\n
+//	METRICS\n                 →  METRICS <n>\n followed by n "name value" lines
+//	QUIT\n                    →  connection close
 //
 // A configurable origin delay is charged on every miss and a cache
 // delay on every request, modelling the testbed RTTs of §5.1.4 at a
 // reduced scale so experiments finish quickly. Any eviction policy
 // from this repository can drive the server; the "unmodified ATS"
 // baseline is the same server with LRU.
+//
+// The server is hardened for hostile and heavy clients: every
+// connection runs under read/write deadlines, an idle timeout reaps
+// slow-loris connections, MaxConns sheds excess load with "ERR busy",
+// the accept loop backs off exponentially on transient errors instead
+// of spinning, Close drains gracefully with a bounded deadline, and a
+// fault-injection surface (Faults) lets stress tests induce accept
+// and read failures. Live counters, gauges, and latency histograms
+// (internal/obs) are exported over the wire via METRICS.
 package server
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -24,8 +35,26 @@ import (
 	"time"
 
 	"raven/internal/cache"
+	"raven/internal/obs"
 	"raven/internal/trace"
 )
+
+// maxLineBytes bounds one protocol line; longer lines are answered
+// with "ERR line too long" and the connection is closed.
+const maxLineBytes = 1 << 16
+
+// Default lifecycle bounds applied when the corresponding Config field
+// is zero. A negative Config value disables the bound entirely.
+const (
+	defaultIdleTimeout  = 2 * time.Minute
+	defaultWriteTimeout = 30 * time.Second
+	defaultDrainTimeout = 5 * time.Second
+)
+
+// maxConsecutiveAcceptErrors bounds how long the accept loop retries a
+// failing listener before treating the error as permanent and exiting
+// (with backoff capped at 1s this is roughly 15 seconds of failures).
+const maxConsecutiveAcceptErrors = 16
 
 // Config parameterizes a Server.
 type Config struct {
@@ -40,6 +69,58 @@ type Config struct {
 	// additionally on every miss.
 	CacheDelay  time.Duration
 	OriginDelay time.Duration
+
+	// MaxConns caps concurrent connections; excess dials receive
+	// "ERR busy" and are closed immediately. 0 means unlimited.
+	MaxConns int
+	// IdleTimeout is the per-request read deadline: a connection that
+	// sends no complete line for this long is closed (slow-loris
+	// defense). 0 applies defaultIdleTimeout; negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 applies
+	// defaultWriteTimeout; negative disables.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Close's graceful drain: connections still
+	// open after this long are force-closed. 0 applies
+	// defaultDrainTimeout; negative disables the force-close (Close
+	// then waits indefinitely, the pre-hardening behavior).
+	DrainTimeout time.Duration
+
+	// Faults injects failures for stress testing; nil in production.
+	Faults *Faults
+}
+
+// idleTimeout returns the effective idle timeout (0 = disabled).
+func (c *Config) idleTimeout() time.Duration { return defaulted(c.IdleTimeout, defaultIdleTimeout) }
+
+// writeTimeout returns the effective write timeout (0 = disabled).
+func (c *Config) writeTimeout() time.Duration { return defaulted(c.WriteTimeout, defaultWriteTimeout) }
+
+// drainTimeout returns the effective drain bound (0 = wait forever).
+func (c *Config) drainTimeout() time.Duration { return defaulted(c.DrainTimeout, defaultDrainTimeout) }
+
+func defaulted(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// serverMetrics holds the hot-path metric handles; all of them live in
+// the server's Registry and appear in METRICS output.
+type serverMetrics struct {
+	connsAccepted *obs.Counter
+	connsActive   *obs.Gauge
+	connsShed     *obs.Counter
+	idleClosed    *obs.Counter
+	acceptErrors  *obs.Counter
+	readErrors    *obs.Counter
+	lineTooLong   *obs.Counter
+	badRequests   *obs.Counter
+	getLatency    *obs.Histogram
 }
 
 // Server is a TCP cache server.
@@ -50,8 +131,16 @@ type Server struct {
 	mu    sync.Mutex
 	cache *cache.Cache
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	metrics *obs.Registry
+	met     serverMetrics
 }
 
 // New creates and starts a server listening on cfg.Addr.
@@ -69,12 +158,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen: %w", err)
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:    cfg,
-		ln:     ln,
-		cache:  cache.New(cfg.Capacity, cfg.Policy),
-		closed: make(chan struct{}),
+		cfg:     cfg,
+		ln:      ln,
+		cache:   cache.New(cfg.Capacity, cfg.Policy),
+		closed:  make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		metrics: reg,
+		met: serverMetrics{
+			connsAccepted: reg.Counter("server.conns_accepted"),
+			connsActive:   reg.Gauge("server.conns_active"),
+			connsShed:     reg.Counter("server.conns_shed"),
+			idleClosed:    reg.Counter("server.conns_idle_closed"),
+			acceptErrors:  reg.Counter("server.accept_errors"),
+			readErrors:    reg.Counter("server.read_errors"),
+			lineTooLong:   reg.Counter("server.line_too_long"),
+			badRequests:   reg.Counter("server.bad_requests"),
+			getLatency:    reg.Histogram("server.get_latency_ns"),
+		},
 	}
+	cacheObs := &obs.CacheObs{}
+	cacheObs.Register(reg, "cache")
+	s.cache.SetObs(cacheObs)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -90,25 +196,141 @@ func (s *Server) Stats() cache.Stats {
 	return s.cache.Stats()
 }
 
-// Close stops accepting connections and waits for handlers to finish.
+// Metrics returns the server's metric registry (live counters, gauges,
+// and latency histograms — the same data METRICS serves on the wire).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Close stops accepting connections, waits for in-flight handlers up
+// to the drain deadline, then force-closes lingering connections. It
+// is idempotent and safe to call concurrently: every call returns the
+// first close's error.
 func (s *Server) Close() error {
-	close(s.closed)
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.ln.Close()
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		drain := s.cfg.drainTimeout()
+		if drain <= 0 {
+			<-done
+			return
+		}
+		t := time.NewTimer(drain)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+			s.forceCloseConns()
+			<-done
+		}
+	})
+	return s.closeErr
 }
 
+// forceCloseConns tears down every registered connection; handlers
+// then exit on their next read or write.
+func (s *Server) forceCloseConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+}
+
+// addConn registers conn, enforcing MaxConns. It reports false when
+// the server is at capacity (the caller sheds the connection).
+func (s *Server) addConn(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.met.connsActive.Set(int64(len(s.conns)))
+	return true
+}
+
+func (s *Server) removeConn(conn net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.conns, conn)
+	s.met.connsActive.Set(int64(len(s.conns)))
+}
+
+// shed refuses conn with "ERR busy" under a write deadline so a
+// non-reading peer cannot stall the accept loop.
+func (s *Server) shed(conn net.Conn) {
+	s.met.connsShed.Inc()
+	wt := s.cfg.writeTimeout()
+	if wt <= 0 {
+		wt = time.Second
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(wt))
+	_, _ = conn.Write([]byte("ERR busy\n"))
+	_ = conn.Close()
+}
+
+// accept performs one Accept, consulting the fault-injection hook
+// first so stress tests can exercise the error path deterministically.
+func (s *Server) accept() (net.Conn, error) {
+	if f := s.cfg.Faults; f != nil && f.AcceptErr != nil {
+		if err := f.AcceptErr(); err != nil {
+			return nil, err
+		}
+	}
+	return s.ln.Accept()
+}
+
+// acceptLoop accepts connections until the server closes. Transient
+// accept errors back off exponentially (5ms doubling to a 1s cap, the
+// net/http idiom) instead of hot-spinning; after
+// maxConsecutiveAcceptErrors consecutive failures the listener is
+// treated as permanently broken and the loop exits.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
+	consecutive := 0
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := s.accept()
 		if err != nil {
 			select {
 			case <-s.closed:
 				return
 			default:
-				continue
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.met.acceptErrors.Inc()
+			consecutive++
+			if consecutive > maxConsecutiveAcceptErrors {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else {
+				backoff *= 2
+				if backoff > time.Second {
+					backoff = time.Second
+				}
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-s.closed:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			continue
+		}
+		backoff, consecutive = 0, 0
+		s.met.connsAccepted.Inc()
+		if !s.addConn(conn) {
+			s.shed(conn)
+			continue
 		}
 		s.wg.Add(1)
 		go s.handle(conn)
@@ -117,20 +339,41 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	defer s.removeConn(conn)
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 4096), 1<<16)
+	var r io.Reader = conn
+	if f := s.cfg.Faults; f != nil && f.ReadErr != nil {
+		r = &faultReader{r: r, inject: f.ReadErr}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4096), maxLineBytes)
 	w := bufio.NewWriter(conn)
+	idle := s.cfg.idleTimeout()
+	write := s.cfg.writeTimeout()
 	// send writes one response line and reports whether the client is
 	// still reachable; a failed flush ends the handler (the peer is
 	// gone, and bufio makes the error sticky anyway).
 	send := func(format string, args ...interface{}) bool {
+		if f := s.cfg.Faults; f != nil && f.PreReply != nil {
+			f.PreReply()
+		}
 		fmt.Fprintf(w, format, args...)
+		if write > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(write))
+		}
 		return w.Flush() == nil
 	}
 	// A virtual clock for the policy: the server has no trace
 	// timestamps, so request count stands in for time.
-	for sc.Scan() {
+	for {
+		// Arm the idle deadline before each blocking read: a client
+		// that trickles bytes without completing a line is reaped.
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
@@ -139,6 +382,7 @@ func (s *Server) handle(conn net.Conn) {
 		switch strings.ToUpper(fields[0]) {
 		case "GET":
 			if len(fields) != 3 && len(fields) != 4 {
+				s.met.badRequests.Inc()
 				if !send("ERR want: GET <key> <size> [time]\n") {
 					return
 				}
@@ -147,6 +391,7 @@ func (s *Server) handle(conn net.Conn) {
 			key, err1 := strconv.ParseUint(fields[1], 10, 64)
 			size, err2 := strconv.ParseInt(fields[2], 10, 64)
 			if err1 != nil || err2 != nil || size <= 0 {
+				s.met.badRequests.Inc()
 				if !send("ERR bad key or size\n") {
 					return
 				}
@@ -157,12 +402,14 @@ func (s *Server) handle(conn net.Conn) {
 				var err error
 				ts, err = strconv.ParseInt(fields[3], 10, 64)
 				if err != nil {
+					s.met.badRequests.Inc()
 					if !send("ERR bad time\n") {
 						return
 					}
 					continue
 				}
 			}
+			t0 := time.Now()
 			hit := s.serve(trace.Key(key), size, ts)
 			if s.cfg.CacheDelay > 0 {
 				time.Sleep(s.cfg.CacheDelay)
@@ -174,7 +421,9 @@ func (s *Server) handle(conn net.Conn) {
 			if hit {
 				verb = "HIT"
 			}
-			if !send("%s %d\n", verb, size) {
+			ok := send("%s %d\n", verb, size)
+			s.met.getLatency.Observe(time.Since(t0).Nanoseconds())
+			if !ok {
 				return
 			}
 		case "STATS":
@@ -182,14 +431,45 @@ func (s *Server) handle(conn net.Conn) {
 			if !send("STATS %d %d %d %d\n", st.Requests, st.Hits, st.ReqBytes, st.HitBytes) {
 				return
 			}
+		case "METRICS":
+			kvs := s.metrics.Snapshot()
+			if !send("METRICS %d\n", len(kvs)) {
+				return
+			}
+			for _, kv := range kvs {
+				if !send("%s %d\n", kv.Name, kv.Value) {
+					return
+				}
+			}
 		case "QUIT":
 			return
 		default:
+			s.met.badRequests.Inc()
 			if !send("ERR unknown command %q\n", fields[0]) {
 				return
 			}
 		}
 	}
+	switch err := sc.Err(); {
+	case err == nil:
+		// clean EOF
+	case errors.Is(err, bufio.ErrTooLong):
+		// An oversized request line: tell the client why before
+		// closing instead of silently dropping the connection.
+		s.met.lineTooLong.Inc()
+		send("ERR line too long\n")
+	case isTimeout(err):
+		s.met.idleClosed.Inc()
+	default:
+		s.met.readErrors.Inc()
+	}
+}
+
+// isTimeout reports whether err is a network timeout (the idle
+// deadline expiring shows up here).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // serve handles one request under the cache lock. ts < 0 substitutes

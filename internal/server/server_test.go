@@ -3,17 +3,26 @@ package server
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"raven/internal/policy"
 	"raven/internal/trace"
 )
 
-func newTestServer(t *testing.T, capacity int64) *Server {
+// newTestServer starts an LRU-backed server; mods adjust the Config
+// before launch. Tests use a short drain bound so a leaked connection
+// cannot stall cleanup.
+func newTestServer(t *testing.T, capacity int64, mods ...func(*Config)) *Server {
 	t.Helper()
-	srv, err := New(Config{
-		Capacity: capacity,
-		Policy:   policy.MustNew("lru", policy.Options{Capacity: capacity}),
-	})
+	cfg := Config{
+		Capacity:     capacity,
+		Policy:       policy.MustNew("lru", policy.Options{Capacity: capacity}),
+		DrainTimeout: time.Second,
+	}
+	for _, m := range mods {
+		m(&cfg)
+	}
+	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

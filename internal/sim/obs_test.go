@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"raven/internal/obs"
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+// TestRunObsReconciles: live metrics attached to a run must agree
+// with the run's own final statistics (no warmup, so the windows
+// coincide), and the eviction-time histogram must sample every
+// eviction.
+func TestRunObsReconciles(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{Objects: 200, Requests: 5000, Interarrival: trace.Poisson, Seed: 9})
+	p := policy.MustNew("lru", policy.Options{Capacity: 500})
+	var co obs.CacheObs
+	var evict obs.Histogram
+	res := Run(tr, p, Options{Capacity: 500, Seed: 1, Obs: &co, ObsEvictNanos: &evict})
+
+	if co.Requests.Load() != res.Stats.Requests {
+		t.Errorf("obs requests %d != stats %d", co.Requests.Load(), res.Stats.Requests)
+	}
+	if co.Hits.Load() != res.Stats.Hits {
+		t.Errorf("obs hits %d != stats %d", co.Hits.Load(), res.Stats.Hits)
+	}
+	if co.Evictions.Load() != res.Stats.Evictions {
+		t.Errorf("obs evictions %d != stats %d", co.Evictions.Load(), res.Stats.Evictions)
+	}
+	if co.Admissions.Load() != res.Stats.Admissions {
+		t.Errorf("obs admissions %d != stats %d", co.Admissions.Load(), res.Stats.Admissions)
+	}
+	if used := co.UsedBytes.Load(); used <= 0 || used > 500 {
+		t.Errorf("used_bytes gauge %d out of (0, capacity]", used)
+	}
+	if co.Objects.Load() <= 0 {
+		t.Error("objects gauge not populated")
+	}
+	if s := evict.Snapshot(); s.Count != res.Stats.Evictions {
+		t.Errorf("eviction histogram %d samples != %d evictions", s.Count, res.Stats.Evictions)
+	}
+}
+
+// TestRunObsOptional: runs without metrics attached behave as before.
+func TestRunObsOptional(t *testing.T) {
+	tr := trace.Synthetic(trace.SynthConfig{Objects: 50, Requests: 500, Interarrival: trace.Poisson, Seed: 9})
+	p := policy.MustNew("lru", policy.Options{Capacity: 200})
+	res := Run(tr, p, Options{Capacity: 200, Seed: 1})
+	if res.Stats.Requests != 500 {
+		t.Errorf("requests %d, want 500", res.Stats.Requests)
+	}
+}

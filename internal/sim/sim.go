@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"raven/internal/cache"
+	"raven/internal/obs"
 	"raven/internal/stats"
 	"raven/internal/trace"
 )
@@ -39,6 +40,16 @@ type Options struct {
 
 	// Seed drives the measurement sampling (not the policy).
 	Seed int64
+
+	// Obs, when non-nil, attaches live observability metrics to the
+	// run's cache engine (occupancy gauges, request/eviction counters)
+	// so long simulations can be watched in flight. The counters span
+	// the whole run including warmup — unlike Result.Stats, which
+	// resets at the warmup boundary.
+	Obs *obs.CacheObs
+	// ObsEvictNanos, when non-nil, additionally receives every
+	// measured per-eviction compute time.
+	ObsEvictNanos *obs.Histogram
 }
 
 // CurvePoint is one sample of the cumulative hit-ratio trajectory.
@@ -80,9 +91,10 @@ type Result struct {
 // forwarding the optional Admitter/Flusher extensions.
 type timedPolicy struct {
 	cache.Policy
-	res *stats.Reservoir
-	sum time.Duration
-	n   int64
+	res  *stats.Reservoir
+	hist *obs.Histogram
+	sum  time.Duration
+	n    int64
 }
 
 func (t *timedPolicy) Victim() (cache.Key, bool) {
@@ -92,6 +104,9 @@ func (t *timedPolicy) Victim() (cache.Key, bool) {
 	t.sum += d
 	t.n++
 	t.res.Add(float64(d.Nanoseconds()))
+	if t.hist != nil {
+		t.hist.Observe(d.Nanoseconds())
+	}
 	return k, ok
 }
 
@@ -117,8 +132,11 @@ func Run(tr *trace.Trace, p cache.Policy, opts Options) *Result {
 	start := time.Now()
 	res := &Result{Policy: p.Name(), Trace: tr.Name, Capacity: opts.Capacity, PolicyState: p}
 
-	tp := &timedPolicy{Policy: p, res: stats.NewReservoir(4096, opts.Seed+1)}
+	tp := &timedPolicy{Policy: p, res: stats.NewReservoir(4096, opts.Seed+1), hist: opts.ObsEvictNanos}
 	c := cache.New(opts.Capacity, tp)
+	if opts.Obs != nil {
+		c.SetObs(opts.Obs)
+	}
 
 	warmIdx := int(opts.WarmupFrac * float64(tr.Len()))
 

@@ -16,9 +16,10 @@ cd "$(dirname "$0")/.."
 
 # Packages with real concurrency: the parallel training and eviction
 # layer (nn.Pool and its users in core), the parallel simulator, the
-# TCP server, the experiment harness that fans out runs, and the cache
-# engine they all share.
-RACE_PKGS="./internal/nn/... ./internal/core/... ./internal/sim/... ./internal/server/... ./internal/experiments/... ./internal/cache/..."
+# TCP server and its stress tests, the metrics layer it exports, the
+# experiment harness that fans out runs, and the cache engine they all
+# share.
+RACE_PKGS="./internal/nn/... ./internal/core/... ./internal/sim/... ./internal/server/... ./internal/obs/... ./internal/experiments/... ./internal/cache/..."
 
 echo "==> go vet ./..."
 go vet ./...
