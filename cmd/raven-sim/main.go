@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"raven/internal/core"
 	"raven/internal/policy"
 	"raven/internal/sim"
 	"raven/internal/trace"
@@ -39,6 +40,8 @@ func main() {
 		warmup    = flag.Float64("warmup", 0.3, "fraction of requests excluded from statistics")
 		netKind   = flag.String("net", "", "latency model: cdn|memory|'' (off)")
 		workers   = flag.Int("workers", 1, "Raven training/eviction goroutines (results are bit-identical for any value)")
+		ckptDir   = flag.String("checkpoint", "", "Raven checkpoint directory: resume from the newest valid generation, save after trainings")
+		ckptEvery = flag.Int("checkpoint-every", 1, "save a checkpoint generation every N completed trainings")
 		seed      = flag.Int64("seed", 42, "random seed")
 		listPols  = flag.Bool("list", false, "list available policies and exit")
 	)
@@ -82,18 +85,38 @@ func main() {
 			continue
 		}
 		p, err := policy.New(name, policy.Options{
-			Capacity:    cap,
-			TrainWindow: tr.Duration() / 8,
-			Seed:        *seed,
-			Workers:     *workers,
+			Capacity:        cap,
+			TrainWindow:     tr.Duration() / 8,
+			Seed:            *seed,
+			Workers:         *workers,
+			CheckpointDir:   *ckptDir,
+			CheckpointEvery: *ckptEvery,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "raven-sim:", err)
 			os.Exit(1)
 		}
+		if r, ok := p.(*core.Raven); ok && *ckptDir != "" {
+			if r.CkptResume.Path != "" {
+				fmt.Printf("%s: resumed checkpoint generation %d (%s), %d corrupt skipped\n",
+					name, r.CkptResume.Seq, r.CkptResume.Path, r.CkptResume.CorruptSkipped)
+			} else if r.CkptResume.CorruptSkipped > 0 {
+				fmt.Printf("%s: no valid checkpoint (%d corrupt skipped), starting cold\n",
+					name, r.CkptResume.CorruptSkipped)
+			}
+		}
 		res := sim.Run(tr, p, opts)
 		fmt.Printf("%-18s %8.4f %8.4f %12d %12.0f %10v\n",
 			name, res.OHR, res.BHR, res.Stats.Evictions, res.EvictionNanos.Mean, res.WallTime.Round(1e6))
+		if r, ok := p.(*core.Raven); ok {
+			if n := len(r.HealthLog); n > 0 {
+				fmt.Printf("  health=%s transitions=%d rollbacks=%d\n",
+					r.Health(), n, countRollbacks(r.TrainStats))
+			}
+			if r.CkptErr != nil {
+				fmt.Fprintf(os.Stderr, "raven-sim: checkpoint: %v\n", r.CkptErr)
+			}
+		}
 		if opts.Net != nil {
 			fmt.Printf("  avgLat=%v p90=%v backendMB=%.1f throughput=%.2fGbps/%.1fKRPS\n",
 				res.Net.AvgLatency, res.Net.P90Latency,
@@ -101,6 +124,17 @@ func main() {
 				res.Net.ThroughputGbps, res.Net.ThroughputKRPS)
 		}
 	}
+}
+
+// countRollbacks tallies guard-tripped training windows.
+func countRollbacks(recs []core.TrainRecord) int {
+	n := 0
+	for _, rec := range recs {
+		if rec.RolledBack {
+			n++
+		}
+	}
+	return n
 }
 
 func loadTrace(prod, synth, file string, requests, objects int, varSizes bool, scale float64, seed int64) (*trace.Trace, error) {

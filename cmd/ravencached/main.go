@@ -26,6 +26,8 @@ import (
 	"syscall"
 	"time"
 
+	"raven/internal/core"
+	"raven/internal/obs"
 	"raven/internal/policy"
 	"raven/internal/server"
 )
@@ -47,6 +49,9 @@ func run() int {
 		originMS = flag.Int("origindelay", 0, "simulated per-miss origin delay (ms)")
 		seed     = flag.Int64("seed", 42, "random seed")
 
+		ckptDir   = flag.String("checkpoint", "", "learning-policy checkpoint directory: resume from the newest valid generation, save after trainings")
+		ckptEvery = flag.Int("checkpoint-every", 1, "save a checkpoint generation every N completed trainings")
+
 		maxConns     = flag.Int("maxconns", 0, "max concurrent connections (0 = unlimited); excess dials get ERR busy")
 		idleTimeout  = flag.Duration("idletimeout", 0, "per-request read deadline (0 = 2m default, negative = off)")
 		writeTimeout = flag.Duration("writetimeout", 0, "per-response write deadline (0 = 30s default, negative = off)")
@@ -55,14 +60,30 @@ func run() int {
 	)
 	flag.Parse()
 
+	ravenObs := &obs.RavenObs{}
 	p, err := policy.New(*polName, policy.Options{
-		Capacity:    *capacity,
-		TrainWindow: *window,
-		Seed:        *seed,
+		Capacity:        *capacity,
+		TrainWindow:     *window,
+		Seed:            *seed,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Obs:             ravenObs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ravencached:", err)
 		return 1
+	}
+	if r, ok := p.(*core.Raven); ok && *ckptDir != "" {
+		if r.CkptErr != nil {
+			fmt.Fprintln(os.Stderr, "ravencached: checkpoint:", r.CkptErr)
+		}
+		if r.CkptResume.Path != "" {
+			fmt.Printf("ravencached: resumed checkpoint generation %d (%s), %d corrupt skipped\n",
+				r.CkptResume.Seq, r.CkptResume.Path, r.CkptResume.CorruptSkipped)
+		} else {
+			fmt.Printf("ravencached: no valid checkpoint in %s (%d corrupt skipped), starting cold\n",
+				*ckptDir, r.CkptResume.CorruptSkipped)
+		}
 	}
 	srv, err := server.New(server.Config{
 		Addr:         *addr,
@@ -79,6 +100,9 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ravencached:", err)
 		return 1
 	}
+	// Model-lifecycle metrics join the same registry METRICS serves,
+	// so operators see rollbacks/health/checkpoint counters live.
+	ravenObs.Register(srv.Metrics(), "raven")
 	fmt.Printf("ravencached: policy=%s capacity=%d listening on %s\n", *polName, *capacity, srv.Addr())
 
 	// Final stats print and drain run deferred so they happen on

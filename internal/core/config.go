@@ -9,6 +9,7 @@ package core
 
 import (
 	"raven/internal/nn"
+	"raven/internal/obs"
 )
 
 // Goal selects the optimization target of §3.4.
@@ -96,7 +97,44 @@ type Config struct {
 	// nn.DefaultWorkers() is the hardware optimum.
 	Workers int
 
+	// DisableTrainGuard turns off the default training guard
+	// (nn.DefaultGuard: finite checks, loss blow-up detection, outer
+	// gradient clip). With the guard on, a diverged training rolls
+	// back to the last good network instead of committing insane
+	// weights; see DESIGN.md "Model lifecycle & failure domains".
+	DisableTrainGuard bool
+	// FallbackAfterTrips is how many consecutive guard trips force
+	// the Fallback health state (LRU eviction until a training
+	// succeeds). Default 2: the first trip only degrades.
+	FallbackAfterTrips int
+
+	// Checkpoint, when Dir is set, persists the trained model with
+	// rotated, checksummed, atomically-written generations and
+	// resumes from the newest valid one at construction.
+	Checkpoint CheckpointConfig
+
+	// TrainFaultWindows stops applying Train.Faults after this many
+	// training windows (0 = inject for as long as Faults is set).
+	// Fault-drill/test hook, like Train.Faults itself.
+	TrainFaultWindows int
+
+	// Obs, when non-nil, receives model-lifecycle metrics (rollbacks,
+	// health transitions, fallback evictions, checkpoint accounting).
+	Obs *obs.RavenObs
+
 	Seed int64
+}
+
+// CheckpointConfig configures model persistence (internal/nn/ckpt).
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every saves a generation after every N completed (non-skipped,
+	// non-diverged) trainings (default 1).
+	Every int
+	// Keep is how many rotated generations survive pruning
+	// (default 3).
+	Keep int
 }
 
 func (c *Config) defaults() {
@@ -133,6 +171,16 @@ func (c *Config) defaults() {
 	c.Train.Survival = !c.DisableSurvival
 	if c.Train.Workers == 0 {
 		c.Train.Workers = c.Workers
+	}
+	if !c.DisableTrainGuard && !c.Train.Guard.CheckFinite &&
+		c.Train.Guard.MaxLossBlowup <= 0 && c.Train.Guard.ClipNorm <= 0 {
+		c.Train.Guard = nn.DefaultGuard()
+	}
+	if c.FallbackAfterTrips == 0 {
+		c.FallbackAfterTrips = 2
+	}
+	if c.Checkpoint.Every == 0 {
+		c.Checkpoint.Every = 1
 	}
 	if c.Train.Seed == 0 {
 		c.Train.Seed = c.Seed + 1

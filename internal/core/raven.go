@@ -2,9 +2,12 @@ package core
 
 import (
 	"container/list"
+	"math"
 
 	"raven/internal/cache"
 	"raven/internal/nn"
+	"raven/internal/nn/ckpt"
+	"raven/internal/obs"
 	"raven/internal/stats"
 )
 
@@ -55,9 +58,28 @@ type Raven struct {
 	scrKeys []cache.Key
 	scrSize []int64
 
+	// Model-lifecycle state (health.go): the health state machine,
+	// the consecutive-guard-trip counter that drives it, lifecycle
+	// metrics, and the checkpoint store.
+	health    Health
+	trips     int
+	obs       *obs.RavenObs
+	store     *ckpt.Store
+	completed int // non-skipped, non-diverged trainings (checkpoint cadence)
+
 	// TrainStats records every completed training run (Table 7 and the
 	// overhead discussion of §6.1.1).
 	TrainStats []TrainRecord
+
+	// HealthLog records every health transition, oldest first.
+	HealthLog []HealthTransition
+
+	// CkptResume reports what checkpoint resume found at
+	// construction; CkptErr holds the most recent checkpoint
+	// save/load error (checkpointing is best-effort and never fails
+	// the policy).
+	CkptResume ckpt.LoadInfo
+	CkptErr    error
 }
 
 // TrainRecord captures one training window's dataset and outcome.
@@ -68,7 +90,11 @@ type TrainRecord struct {
 	// Skipped marks windows whose retraining was elided by drift
 	// detection (Config.DriftThreshold).
 	Skipped bool
-	Result  nn.TrainResult
+	// RolledBack marks windows whose training diverged (the guard
+	// tripped) and whose weights were rolled back to the last good
+	// network; Result.GuardReason says why.
+	RolledBack bool
+	Result     nn.TrainResult
 }
 
 // New returns a Raven policy. cfg.TrainWindow must be positive.
@@ -91,7 +117,70 @@ func New(cfg Config) *Raven {
 	if cfg.DriftThreshold > 0 {
 		r.drift = newDriftDetector(cfg.DriftThreshold, 0)
 	}
+	r.obs = cfg.Obs
+	if r.obs != nil {
+		r.obs.Health.Set(int64(Healthy))
+	}
+	r.resumeCheckpoint()
 	return r
+}
+
+// resumeCheckpoint opens the configured checkpoint store and installs
+// the newest valid generation, skipping corrupt ones. Failures are
+// recorded (CkptErr, raven.ckpt_* metrics) but never propagate: a
+// cache that cannot read its checkpoints starts cold, it does not
+// crash.
+func (r *Raven) resumeCheckpoint() {
+	if r.cfg.Checkpoint.Dir == "" {
+		return
+	}
+	st, err := ckpt.Open(r.cfg.Checkpoint.Dir, ckpt.Options{Prefix: "raven", Keep: r.cfg.Checkpoint.Keep})
+	if err != nil {
+		r.ckptError(err)
+		return
+	}
+	r.store = st
+	net, info, err := st.LoadNewest()
+	r.CkptResume = info
+	if r.obs != nil && info.CorruptSkipped > 0 {
+		r.obs.CkptCorruptSkipped.Add(int64(info.CorruptSkipped))
+	}
+	if err != nil {
+		r.ckptError(err)
+		return
+	}
+	if net != nil {
+		// The resumed net's embedded nn.Config (TimeScale, dims)
+		// supersedes cfg.Net — it describes the weights being loaded.
+		r.net = net
+	}
+}
+
+// ckptError records a best-effort checkpoint failure.
+func (r *Raven) ckptError(err error) {
+	r.CkptErr = err
+	if r.obs != nil {
+		r.obs.CkptErrors.Inc()
+	}
+}
+
+// saveCheckpoint persists the model after a completed training,
+// honoring the Checkpoint.Every cadence.
+func (r *Raven) saveCheckpoint() {
+	if r.store == nil || r.net == nil {
+		return
+	}
+	r.completed++
+	if r.completed%r.cfg.Checkpoint.Every != 0 {
+		return
+	}
+	if _, err := r.store.Save(r.net); err != nil {
+		r.ckptError(err)
+		return
+	}
+	if r.obs != nil {
+		r.obs.CkptSaves.Inc()
+	}
 }
 
 // Name implements cache.Policy.
@@ -195,47 +284,104 @@ func (r *Raven) train() {
 		})
 		return
 	}
+	// A network with non-finite weights (corrupt resume that slipped
+	// validation, runtime overflow) cannot be trained out of NaN —
+	// discard it and fit fresh. Counted as a rollback: the "last good
+	// network" here is none.
+	if r.net != nil && !r.net.FiniteWeights() {
+		r.net = nil
+		r.infNets = nil
+		r.infPred = nil
+		if r.obs != nil {
+			r.obs.Rollbacks.Inc()
+		}
+	}
+	prev := r.net // last good network; the rollback target
+	replaced := false
 	if r.net == nil || r.cfg.ColdStart {
 		cfg := r.cfg.Net
 		if cfg.TimeScale == 0 { //lint:allow float-equal zero TimeScale means unset; derive the default
 			cfg.TimeScale = meanTau(data, float64(r.cfg.TrainWindow)/1000)
 		}
-		old := r.net
 		r.net = nn.NewNet(cfg)
-		if old != nil {
-			r.net.Version = old.Version
+		if prev != nil {
+			r.net.Version = prev.Version
 		}
 		// Inference shadows alias the old network's weights; rebuild
 		// them lazily against the new one.
 		r.infNets = nil
 		r.infPred = nil
+		replaced = true
+	}
+	// Pre-fit snapshot: the rollback token for warm-start windows
+	// (windows that built a fresh net roll back to prev instead).
+	var snap [][]float64
+	if !replaced {
+		snap = r.net.WeightsCopy()
 	}
 	tc := r.cfg.Train
 	tc.Seed += int64(len(r.TrainStats)) // vary shuffles between windows
+	if tc.Faults != nil && r.cfg.TrainFaultWindows > 0 && len(r.TrainStats) >= r.cfg.TrainFaultWindows {
+		tc.Faults = nil // fault drill over; train clean from here on
+	}
 	res := r.net.Fit(data, tc)
-	r.TrainStats = append(r.TrainStats, TrainRecord{
+	rec := TrainRecord{
 		WindowEnd: r.now,
 		Objects:   len(data),
 		Samples:   terms,
 		Result:    res,
-	})
+	}
+	if res.Diverged {
+		// Fit already restored the fitted network's pre-fit weights
+		// bit-identically; rolling back means re-installing the last
+		// good network (which, for warm starts, is that same
+		// snapshot).
+		if replaced {
+			r.net = prev
+		} else {
+			r.net.RestoreWeightsCopy(snap)
+		}
+		r.infNets = nil
+		r.infPred = nil
+		rec.RolledBack = true
+		if r.obs != nil {
+			r.obs.Rollbacks.Inc()
+		}
+		r.guardTripped("training diverged: " + res.GuardReason)
+	} else {
+		r.trainSucceeded()
+		r.saveCheckpoint()
+	}
+	r.TrainStats = append(r.TrainStats, rec)
 }
 
+// meanTau averages the finite, positive interarrival times of the
+// window. Zeros left by the degenerate-interarrival clamp and any
+// non-finite value are excluded so a pathological window can never
+// poison the derived TimeScale; with nothing usable the fallback
+// (itself sanitized) is returned.
 func meanTau(data []nn.Sequence, fallback float64) float64 {
+	if fallback <= 0 || math.IsInf(fallback, 0) || math.IsNaN(fallback) {
+		fallback = 1
+	}
 	s, n := 0.0, 0
 	for i := range data {
 		for _, t := range data[i].Taus {
+			if t <= 0 || math.IsInf(t, 0) || math.IsNaN(t) {
+				continue
+			}
 			s += t
 			n++
 		}
 	}
-	if n == 0 || s <= 0 {
-		if fallback <= 0 {
-			fallback = 1
-		}
+	if n == 0 {
 		return fallback
 	}
-	return s / float64(n)
+	m := s / float64(n)
+	if m <= 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+		return fallback
+	}
+	return m
 }
 
 // OnHit implements cache.Policy.
@@ -267,16 +413,27 @@ func (r *Raven) OnEvict(key cache.Key) {
 }
 
 // Victim implements cache.Policy: the §4.4 eviction rule. Before the
-// first model is trained it falls back to LRU.
+// first model is trained — and whenever the health state machine is
+// in Fallback — it falls back to LRU over the resident list.
 func (r *Raven) Victim() (cache.Key, bool) {
 	if r.set.Len() == 0 {
 		return 0, false
 	}
-	if r.net == nil {
-		return r.ll.Back().Value.(cache.Key), true
+	if r.net == nil || r.health == Fallback {
+		return r.fallbackVictim(), true
 	}
 	r.prepareCandidates()
 	n := len(r.scrKeys)
+	// Runtime sanity gate: a single non-finite mixture parameter
+	// means the model's output can no longer be trusted to order
+	// candidates — enter Fallback now and evict by LRU instead of
+	// comparing NaNs.
+	for j := 0; j < n; j++ {
+		if !mixtureFinite(&r.scrMix[j]) {
+			r.scoresInsane()
+			return r.fallbackVictim(), true
+		}
+	}
 	if n == 1 {
 		return r.scrKeys[0], true
 	}
@@ -361,6 +518,38 @@ func (r *Raven) prepareCandidates() {
 		}
 	}
 	r.pool.ParallelFor(n, r.candTask)
+}
+
+// fallbackVictim evicts the LRU-list tail, counting the eviction when
+// it happened because of degraded health (rather than the normal
+// before-first-model warmup).
+func (r *Raven) fallbackVictim() cache.Key {
+	if r.health == Fallback && r.obs != nil {
+		r.obs.FallbackEvictions.Inc()
+	}
+	return r.ll.Back().Value.(cache.Key)
+}
+
+// mixtureFinite reports whether every parameter of the predicted
+// mixture is finite. Allocation-free (the eviction path must stay
+// zero-alloc).
+func mixtureFinite(m *nn.Mixture) bool {
+	for _, v := range m.W {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, v := range m.Mu {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, v := range m.S {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func cumWeights(w []float64, dst []float64) []float64 {

@@ -58,6 +58,7 @@ func DefaultRules() []Rule {
 		ruleNoPanic(),
 		ruleFloatEqual(),
 		ruleUncheckedError(),
+		ruleCkptAtomicWrite(),
 	}
 }
 

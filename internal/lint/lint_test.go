@@ -562,6 +562,72 @@ func f(w io.Writer, fp *os.File) {
 `,
 		},
 
+		// ---- ckpt-atomic-write ----
+		{
+			name: "direct os.Create of a checkpoint path is flagged",
+			src: `package fix
+import "os"
+func f() error {
+	fp, err := os.Create("model.ckpt")
+	if err != nil {
+		return err
+	}
+	return fp.Close()
+}
+`,
+			want: []string{"4:[ckpt-atomic-write]"},
+		},
+		{
+			name: "checkpoint path built with filepath.Join is flagged",
+			src: `package fix
+import (
+	"os"
+	"path/filepath"
+)
+func f(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "net-001.ckpt"), data, 0o644)
+}
+`,
+			want: []string{"7:[ckpt-atomic-write]"},
+		},
+		{
+			name: "os.OpenFile with a ckpt suffix concatenation is flagged",
+			src: `package fix
+import "os"
+func f(name string) error {
+	fp, err := os.OpenFile(name+".ckpt", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	return fp.Close()
+}
+`,
+			want: []string{"4:[ckpt-atomic-write]"},
+		},
+		{
+			name:    "the atomic writer package itself is exempt",
+			relfile: "internal/nn/ckpt/ckpt.go",
+			src: `package ckpt
+import "os"
+func f() error {
+	fp, err := os.Create("net-00000001.ckpt")
+	if err != nil {
+		return err
+	}
+	return fp.Close()
+}
+`,
+		},
+		{
+			name: "non-checkpoint paths are not flagged",
+			src: `package fix
+import "os"
+func f(data []byte) error {
+	return os.WriteFile("trace.txt", data, 0o644)
+}
+`,
+		},
+
 		// ---- pragma-syntax ----
 		{
 			name: "pragma without a reason is itself a finding",

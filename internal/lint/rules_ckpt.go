@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// ckptWriterDirs are the only directories allowed to open checkpoint
+// paths for writing: internal/nn/ckpt owns the temp-file → fsync →
+// rename dance that makes checkpoint saves atomic.
+var ckptWriterDirs = []string{"internal/nn/ckpt"}
+
+// ckptWriteFns are the os entry points that create or truncate a file.
+var ckptWriteFns = map[string]bool{
+	"Create":    true,
+	"OpenFile":  true,
+	"WriteFile": true,
+}
+
+// ruleCkptAtomicWrite flags os.Create/os.OpenFile/os.WriteFile calls
+// whose path expression mentions a ".ckpt" constant outside the
+// atomic writer package. A checkpoint written with a bare os.Create
+// can be torn by a crash mid-write and then shadow the last good
+// generation; every save must go through ckpt.Store. (Test files are
+// not linted, so test helpers that deliberately corrupt checkpoint
+// files are unaffected.)
+func ruleCkptAtomicWrite() Rule {
+	const id = "ckpt-atomic-write"
+	return Rule{
+		ID:  id,
+		Doc: "checkpoint (*.ckpt) paths are written only via internal/nn/ckpt's atomic writer",
+		Check: func(p *Package) []Finding {
+			var out []Finding
+			for _, f := range p.Files {
+				if underDirs(p.relFile(f), ckptWriterDirs...) {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					fn := p.funcObj(call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !ckptWriteFns[fn.Name()] {
+						return true
+					}
+					if p.mentionsCkptString(call.Args[0]) {
+						out = append(out, p.finding(id, call.Pos(),
+							"os.%s of a checkpoint path outside internal/nn/ckpt; a torn write can shadow the last good generation — save through ckpt.Store", fn.Name()))
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// mentionsCkptString reports whether any string constant inside the
+// expression (a literal, a named constant, or a piece of a
+// concatenation or filepath.Join argument list) contains ".ckpt".
+func (p *Package) mentionsCkptString(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[expr]; ok && tv.Value != nil &&
+			tv.Value.Kind() == constant.String &&
+			strings.Contains(constant.StringVal(tv.Value), ".ckpt") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,108 @@
+package nn
+
+// Checkpoint wire format v2.
+//
+// The legacy Save/LoadNet stream (v1) is a bare gob payload: a
+// truncated or bit-flipped file either fails to decode with an
+// unhelpful gob error or — worse — decodes into a plausible but wrong
+// network. v2 wraps the same gob payload in an integrity envelope so
+// corruption is detected before any weight is installed:
+//
+//	offset  size  field
+//	0       7     magic "RVNCKPT"
+//	7       1     format version (2)
+//	8       4     payload length, big-endian uint32
+//	12      n     gob-encoded netWire payload
+//	12+n    4     CRC32 (IEEE), big-endian, over bytes [0, 12+n)
+//
+// The CRC covers the header too, so a flipped version byte or length
+// is caught by the same check as a flipped payload byte. Loaded
+// weights additionally pass the netFromWire finite/shape validation —
+// a checkpoint load that returns nil error never yields a non-finite
+// network.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrCorrupt is the typed error every checkpoint/stream validation
+// failure wraps: bad magic trailers, CRC mismatches, truncation,
+// unknown format versions, and non-finite or misshapen weights.
+// Callers test with errors.Is(err, nn.ErrCorrupt) and fall back to an
+// older generation or a fresh network.
+var ErrCorrupt = errors.New("corrupt model stream")
+
+const (
+	ckptMagic   = "RVNCKPT"
+	ckptVersion = 2
+	// ckptHeaderLen is magic + version byte + payload length.
+	ckptHeaderLen = len(ckptMagic) + 1 + 4
+	ckptMaxLen    = 1 << 30 // sanity bound on the declared payload length
+)
+
+// Checkpoint writes the network in wire format v2 (format-version
+// header, gob payload, CRC32 trailer). Like Save it persists
+// architecture, weights, and Version but no optimizer state.
+func (n *Net) Checkpoint(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(n.wire()); err != nil {
+		return fmt.Errorf("nn: checkpoint encode: %w", err)
+	}
+	buf := make([]byte, 0, ckptHeaderLen+payload.Len()+4)
+	buf = append(buf, ckptMagic...)
+	buf = append(buf, ckptVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("nn: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a network from a v2 checkpoint stream, falling
+// back to the legacy v1 (bare gob) format when the magic is absent so
+// pre-v2 model files stay loadable. Any integrity or validation
+// failure — truncation, CRC mismatch, unknown version, non-finite
+// weights, empty stream — returns an error wrapping ErrCorrupt.
+func LoadCheckpoint(r io.Reader) (*Net, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: checkpoint read: %v: %w", err, ErrCorrupt)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("nn: empty checkpoint: %w", ErrCorrupt)
+	}
+	if !bytes.HasPrefix(data, []byte(ckptMagic)) {
+		// Legacy v1 stream (bare gob); LoadNet validates it fully.
+		return LoadNet(bytes.NewReader(data))
+	}
+	if len(data) < ckptHeaderLen+4 {
+		return nil, fmt.Errorf("nn: truncated checkpoint header (%d bytes): %w", len(data), ErrCorrupt)
+	}
+	if v := data[len(ckptMagic)]; v != ckptVersion {
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d: %w", v, ErrCorrupt)
+	}
+	plen := int64(binary.BigEndian.Uint32(data[len(ckptMagic)+1 : ckptHeaderLen]))
+	if plen > ckptMaxLen || int64(len(data)) != int64(ckptHeaderLen)+plen+4 {
+		return nil, fmt.Errorf("nn: checkpoint length mismatch (declared %d, have %d bytes): %w",
+			plen, len(data), ErrCorrupt)
+	}
+	body := data[:ckptHeaderLen+int(plen)]
+	want := binary.BigEndian.Uint32(data[len(body):])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("nn: checkpoint CRC mismatch (got %08x, want %08x): %w",
+			got, want, ErrCorrupt)
+	}
+	var wire netWire
+	if err := gob.NewDecoder(bytes.NewReader(body[ckptHeaderLen:])).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint decode: %v: %w", err, ErrCorrupt)
+	}
+	return netFromWire(wire)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 )
 
 // netWire is the serialized form of a Net. §6.1.1 motivates
@@ -21,42 +22,70 @@ type tensorWire struct {
 	W    []float64
 }
 
-// Save serializes the network (architecture + weights + version) with
-// encoding/gob. Optimizer state is not persisted; a loaded network can
-// keep training with a fresh optimizer.
-func (n *Net) Save(w io.Writer) error {
-	wire := netWire{Cfg: n.Cfg, Version: n.Version}
+// wire builds the serializable form of the network.
+func (n *Net) wire() netWire {
+	w := netWire{Cfg: n.Cfg, Version: n.Version}
 	for _, p := range n.params {
-		wire.Tensors = append(wire.Tensors, tensorWire{Name: p.Name, W: p.W})
+		w.Tensors = append(w.Tensors, tensorWire{Name: p.Name, W: p.W})
 	}
-	return gob.NewEncoder(w).Encode(wire)
+	return w
 }
 
-// LoadNet deserializes a network written by Save.
+// Save serializes the network (architecture + weights + version) with
+// encoding/gob — the legacy v1 stream, kept for compatibility.
+// Optimizer state is not persisted; a loaded network can keep
+// training with a fresh optimizer. New code should prefer Checkpoint,
+// which adds a format-version header and CRC32 integrity trailer.
+func (n *Net) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(n.wire())
+}
+
+// LoadNet deserializes a network written by Save (the legacy v1
+// stream). The stream is validated: unknown, missing, duplicated, or
+// wrongly-sized tensors and any non-finite weight are rejected with
+// an error wrapping ErrCorrupt — a LoadNet that returns nil error
+// never yields a non-finite network.
 func LoadNet(r io.Reader) (*Net, error) {
 	var wire netWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("nn: decode: %w", err)
+		return nil, fmt.Errorf("nn: decode: %v: %w", err, ErrCorrupt)
 	}
+	return netFromWire(wire)
+}
+
+// netFromWire validates a decoded wire form and builds the network.
+func netFromWire(wire netWire) (*Net, error) {
 	n := NewNet(wire.Cfg)
 	n.Version = wire.Version
 	byName := make(map[string]*Param, len(n.params))
 	for _, p := range n.params {
 		byName[p.Name] = p
 	}
+	seen := make(map[string]bool, len(wire.Tensors))
 	for _, t := range wire.Tensors {
+		if seen[t.Name] {
+			return nil, fmt.Errorf("nn: duplicate tensor %q in stream: %w", t.Name, ErrCorrupt)
+		}
+		seen[t.Name] = true
 		p, ok := byName[t.Name]
 		if !ok {
-			return nil, fmt.Errorf("nn: unknown tensor %q in stream", t.Name)
+			return nil, fmt.Errorf("nn: unknown tensor %q in stream: %w", t.Name, ErrCorrupt)
 		}
 		if len(t.W) != len(p.W) {
-			return nil, fmt.Errorf("nn: tensor %q has %d weights, want %d", t.Name, len(t.W), len(p.W))
+			return nil, fmt.Errorf("nn: tensor %q has %d weights, want %d: %w",
+				t.Name, len(t.W), len(p.W), ErrCorrupt)
+		}
+		for i, v := range t.W {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("nn: tensor %q weight %d is non-finite: %w",
+					t.Name, i, ErrCorrupt)
+			}
 		}
 		copy(p.W, t.W)
 		delete(byName, t.Name)
 	}
 	if len(byName) != 0 {
-		return nil, fmt.Errorf("nn: stream missing %d tensors", len(byName))
+		return nil, fmt.Errorf("nn: stream missing %d tensors: %w", len(byName), ErrCorrupt)
 	}
 	return n, nil
 }

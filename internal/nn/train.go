@@ -34,6 +34,16 @@ type TrainConfig struct {
 	// (nn.DefaultWorkers) is the hardware optimum.
 	Workers int
 	Seed    int64
+
+	// Guard watches training for divergence (non-finite losses,
+	// gradients, or weights; loss blow-ups) and clips pathological
+	// gradients. A tripped guard aborts Fit, restores the exact
+	// pre-fit weights, and reports Diverged in TrainResult. The zero
+	// value disables all checks; see GuardConfig and DefaultGuard.
+	Guard GuardConfig
+	// Faults, when non-nil, injects deterministic training faults
+	// (see TrainFaults). Test/fault-drill hook; nil in production.
+	Faults *TrainFaults
 }
 
 func (c *TrainConfig) defaults() {
@@ -65,6 +75,15 @@ type TrainResult struct {
 	Sequences  int
 	Terms      int // loss terms in the training split
 	Parameters int
+
+	// Diverged reports that the training guard tripped: the network
+	// holds its exact pre-fit weights (Version unchanged) and
+	// GuardReason says what tripped.
+	Diverged    bool
+	GuardReason string
+	// ClippedEpochs counts epochs in which the guard's outer
+	// gradient-norm clip fired at least once.
+	ClippedEpochs int
 }
 
 // fitState carries the reusable buffers of one Fit run: the per-slot
@@ -136,11 +155,22 @@ func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 	bestW := n.snapshot()
 	badEpochs := 0
 
+	// The guard's rollback token: the exact pre-fit weights. bestW
+	// above is overwritten as validation improves, so a tripped guard
+	// restores this separate snapshot instead.
+	guardOn := tc.Guard.enabled()
+	var preFit [][]float64
+	if guardOn {
+		preFit = n.snapshot()
+	}
+	bestEpochNLL := math.Inf(1)
+
 	for epoch := 0; epoch < tc.MaxEpochs; epoch++ {
 		res.Epochs = epoch + 1
 		g.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
 		terms := 0
 		lossSum := 0.0
+		clipped := false
 		for start := 0; start < len(train); start += tc.Batch {
 			end := start + tc.Batch
 			if end > len(train) {
@@ -161,23 +191,71 @@ func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 			})
 			// Fixed-order reduction: shard gradients fold into the
 			// master in sequence-index order, never worker order.
+			// Everything below this point — fault injection, guard
+			// checks, clipping — runs serially on the reduced state,
+			// so the guard cannot break Workers bit-determinism.
+			batchLoss := 0.0
 			batchTerms := 0
 			for i := 0; i < bl; i++ {
-				lossSum += st.loss[i]
+				batchLoss += st.loss[i]
 				terms += st.terms[i]
 				batchTerms += st.terms[i]
 				for pi, p := range n.params {
 					axpy(1, st.shadows[i].params[pi].G, p.G)
 				}
 			}
-			if batchTerms > 0 {
-				opt.Step(1 / float64(batchTerms))
+			if tc.Faults.lossFault(epoch + 1) {
+				batchLoss = math.NaN()
 			}
+			if tc.Faults.nanGradFault(epoch+1) && len(n.params) > 0 && len(n.params[0].G) > 0 {
+				n.params[0].G[0] = math.NaN()
+			}
+			if s, ok := tc.Faults.gradFault(epoch + 1); ok {
+				batchLoss *= s
+				for _, p := range n.params {
+					for i := range p.G {
+						p.G[i] *= s
+					}
+				}
+			}
+			lossSum += batchLoss
+			if guardOn && tc.Guard.CheckFinite &&
+				(math.IsNaN(batchLoss) || math.IsInf(batchLoss, 0) || !n.finiteGrads()) {
+				return n.abortDiverged(&res, preFit, best, "non-finite minibatch loss or gradient")
+			}
+			if batchTerms > 0 {
+				invScale := 1 / float64(batchTerms)
+				if tc.Guard.ClipNorm > 0 {
+					if norm := n.gradNorm(invScale); norm > tc.Guard.ClipNorm {
+						invScale *= tc.Guard.ClipNorm / norm
+						clipped = true
+					}
+				}
+				opt.Step(invScale)
+			}
+		}
+		if clipped {
+			res.ClippedEpochs++
 		}
 		if terms > 0 {
 			res.TrainNLL = lossSum / float64(terms)
 		}
 		res.Terms = terms
+		if guardOn {
+			if tc.Guard.CheckFinite && !n.FiniteWeights() {
+				return n.abortDiverged(&res, preFit, best, "non-finite weights after epoch")
+			}
+			if tc.Guard.MaxLossBlowup > 0 && terms > 0 {
+				// NLLs can be negative, so "blow-up" is measured on a
+				// shifted scale relative to the best epoch so far.
+				if res.TrainNLL-bestEpochNLL > tc.Guard.MaxLossBlowup*(math.Abs(bestEpochNLL)+1) {
+					return n.abortDiverged(&res, preFit, best, "training loss blow-up")
+				}
+				if res.TrainNLL < bestEpochNLL {
+					bestEpochNLL = res.TrainNLL
+				}
+			}
+		}
 
 		st.pool.ParallelFor(len(val), func(w, vi int) {
 			st.loss[vi], st.terms[vi] = st.shadows[w].forwardBackward(&data[val[vi]], nil, tc, false)
@@ -307,6 +385,20 @@ func (n *Net) forwardBackward(seq *Sequence, g *stats.RNG, tc TrainConfig, train
 		axpy(1, dhSteps[i], dh)
 	}
 	return loss, terms
+}
+
+// abortDiverged finalizes a guard-tripped Fit: the pre-fit snapshot
+// is restored bit-identically, Version stays unchanged (cached
+// embeddings computed against these weights remain valid), and the
+// result reports why training was abandoned.
+func (n *Net) abortDiverged(res *TrainResult, preFit [][]float64, best float64, reason string) TrainResult {
+	n.restore(preFit)
+	res.Diverged = true
+	res.GuardReason = reason
+	if !math.IsInf(best, 1) {
+		res.ValNLL = best
+	}
+	return *res
 }
 
 func (n *Net) snapshot() [][]float64 {

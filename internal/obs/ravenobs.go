@@ -1,0 +1,45 @@
+package obs
+
+// RavenObs is the learning policy's model-lifecycle observability
+// surface: rollbacks, health transitions, fallback activity, and
+// checkpoint accounting. Raven updates it inline from its (single)
+// policy goroutine; the atomic metric types keep concurrent METRICS
+// snapshots safe. Attach one via core.Config.Obs and register it on
+// the server/sim registry so operators can watch a learned policy
+// degrade and recover instead of silently going insane.
+type RavenObs struct {
+	// Rollbacks counts trainings abandoned by the guard (weights
+	// restored to the pre-fit snapshot or the previous good network).
+	Rollbacks Counter
+	// GuardTrips counts individual guard trips, including those that
+	// did not change the health state.
+	GuardTrips Counter
+	// FallbackEvictions counts evictions decided by the LRU fallback
+	// while the policy was in the Fallback health state.
+	FallbackEvictions Counter
+
+	// CkptSaves counts checkpoint generations written; CkptErrors
+	// counts failed save/load attempts; CkptCorruptSkipped counts
+	// corrupt generations skipped while resuming.
+	CkptSaves          Counter
+	CkptErrors         Counter
+	CkptCorruptSkipped Counter
+
+	// Health is the current health state (0 healthy, 1 degraded,
+	// 2 fallback); HealthTransitions counts state changes.
+	Health            Gauge
+	HealthTransitions Counter
+}
+
+// Register adds every RavenObs metric to r under prefix (e.g.
+// "raven"), in a fixed order so snapshots stay deterministic.
+func (ro *RavenObs) Register(r *Registry, prefix string) {
+	r.adoptCounter(prefix+".rollbacks", &ro.Rollbacks)
+	r.adoptCounter(prefix+".guard_trips", &ro.GuardTrips)
+	r.adoptCounter(prefix+".fallback_evictions", &ro.FallbackEvictions)
+	r.adoptCounter(prefix+".ckpt_saves", &ro.CkptSaves)
+	r.adoptCounter(prefix+".ckpt_errors", &ro.CkptErrors)
+	r.adoptCounter(prefix+".ckpt_corrupt_skipped", &ro.CkptCorruptSkipped)
+	r.adoptGauge(prefix+".health", &ro.Health)
+	r.adoptCounter(prefix+".health_transitions", &ro.HealthTransitions)
+}

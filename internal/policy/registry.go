@@ -10,6 +10,7 @@ import (
 
 	"raven/internal/cache"
 	"raven/internal/core"
+	"raven/internal/obs"
 	"raven/internal/policy/adaptsize"
 	"raven/internal/policy/arc"
 	"raven/internal/policy/belady"
@@ -44,6 +45,16 @@ type Options struct {
 	// inference (0 or 1 = serial). Results are bit-identical for every
 	// value, so it only changes throughput.
 	Workers int
+	// CheckpointDir, when non-empty, makes Raven persist its model as
+	// rotated, checksummed, atomically-written checkpoint generations
+	// and resume from the newest valid one at startup (corrupt
+	// generations are skipped). CheckpointEvery sets the save cadence
+	// in completed trainings (0 = every training).
+	CheckpointDir   string
+	CheckpointEvery int
+	// Obs, when non-nil, receives Raven's model-lifecycle metrics
+	// (rollbacks, health transitions, checkpoint accounting).
+	Obs *obs.RavenObs
 	// Raven optionally overrides the default Raven configuration; its
 	// TrainWindow/Goal/Seed are filled from this Options if zero.
 	Raven *core.Config
@@ -83,6 +94,15 @@ func (o Options) ravenConfig(goal core.Goal) core.Config {
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = o.Workers
+	}
+	if cfg.Checkpoint.Dir == "" {
+		cfg.Checkpoint.Dir = o.CheckpointDir
+	}
+	if cfg.Checkpoint.Every == 0 {
+		cfg.Checkpoint.Every = o.CheckpointEvery
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = o.Obs
 	}
 	return cfg
 }

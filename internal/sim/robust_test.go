@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"raven/internal/core"
+	"raven/internal/nn"
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+// TestRavenSurvivesTrainingDivergence is the end-to-end robustness
+// drill (ISSUE 4 acceptance): a Raven whose first training windows
+// diverge via injected faults must (a) stay within 5% of plain LRU's
+// object hit ratio — the degraded policy IS LRU plus model overhead —
+// (b) record at least one rollback, and (c) walk the full
+// Healthy→Fallback→Healthy cycle once the injection stops.
+func TestRavenSurvivesTrainingDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 300, Requests: 30000, Interarrival: trace.Poisson, Seed: 9,
+	})
+	const capacity = 60
+	opts := Options{Capacity: capacity, WarmupFrac: 0.1, Seed: 1}
+
+	lru := Run(tr, policy.MustNew("lru", policy.Options{Capacity: capacity}), opts)
+
+	cfg := &core.Config{
+		TrainWindow:       tr.Duration() / 6,
+		MaxTrainObjects:   300,
+		Net:               nn.Config{Hidden: 6, MLPHidden: 8, K: 3},
+		Train:             nn.TrainConfig{MaxEpochs: 4, Patience: 2, Faults: &nn.TrainFaults{NaNLossEpoch: 1}},
+		ResidualSamples:   20,
+		Seed:              7,
+		TrainFaultWindows: 2,
+	}
+	p := policy.MustNew("raven", policy.Options{Capacity: capacity, Raven: cfg})
+	r := p.(*core.Raven)
+	res := Run(tr, p, opts)
+
+	if res.OHR < lru.OHR-0.05 {
+		t.Errorf("faulted Raven OHR %.4f below LRU %.4f - 0.05: degradation is not graceful",
+			res.OHR, lru.OHR)
+	}
+
+	rollbacks := 0
+	for _, rec := range r.TrainStats {
+		if rec.RolledBack {
+			rollbacks++
+		}
+	}
+	if rollbacks == 0 {
+		t.Error("no training window was rolled back despite injected divergence")
+	}
+	if r.Health() != core.Healthy {
+		t.Errorf("final health %v, want healthy after faults stopped", r.Health())
+	}
+	sawFallback, recovered := false, false
+	for _, h := range r.HealthLog {
+		if h.To == core.Fallback {
+			sawFallback = true
+		}
+		if sawFallback && h.To == core.Healthy {
+			recovered = true
+		}
+	}
+	if !sawFallback || !recovered {
+		t.Errorf("HealthLog missing the Fallback->Healthy cycle: %+v", r.HealthLog)
+	}
+}
+
+// TestRavenFaultedRunIsDeterministic: the fault drill itself must be
+// reproducible — two identical faulted runs produce identical hit
+// ratios and health logs for any worker count.
+func TestRavenFaultedRunIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 200, Requests: 15000, Interarrival: trace.Poisson, Seed: 3,
+	})
+	const capacity = 40
+	run := func(workers int) (*Result, *core.Raven) {
+		cfg := &core.Config{
+			TrainWindow:       tr.Duration() / 4,
+			MaxTrainObjects:   200,
+			Net:               nn.Config{Hidden: 6, MLPHidden: 8, K: 3},
+			Train:             nn.TrainConfig{MaxEpochs: 3, Patience: 2, Faults: &nn.TrainFaults{NaNLossEpoch: 1}},
+			ResidualSamples:   20,
+			Seed:              7,
+			Workers:           workers,
+			TrainFaultWindows: 1,
+		}
+		p := policy.MustNew("raven", policy.Options{Capacity: capacity, Raven: cfg})
+		return Run(tr, p, Options{Capacity: capacity, Seed: 1}), p.(*core.Raven)
+	}
+	base, baseR := run(1)
+	for _, w := range []int{2, 4} {
+		res, r := run(w)
+		if res.OHR != base.OHR || res.BHR != base.BHR { //lint:allow float-equal determinism contract is bit-exact
+			t.Errorf("workers=%d OHR/BHR %.6f/%.6f differ from serial %.6f/%.6f",
+				w, res.OHR, res.BHR, base.OHR, base.BHR)
+		}
+		if len(r.HealthLog) != len(baseR.HealthLog) {
+			t.Errorf("workers=%d health log length %d != serial %d", w, len(r.HealthLog), len(baseR.HealthLog))
+			continue
+		}
+		for i := range r.HealthLog {
+			if r.HealthLog[i].From != baseR.HealthLog[i].From ||
+				r.HealthLog[i].To != baseR.HealthLog[i].To ||
+				r.HealthLog[i].At != baseR.HealthLog[i].At {
+				t.Errorf("workers=%d health transition %d differs: %+v vs %+v",
+					w, i, r.HealthLog[i], baseR.HealthLog[i])
+			}
+		}
+	}
+}

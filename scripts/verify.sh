@@ -8,6 +8,9 @@
 #   4. go test -race     (concurrent packages under the race detector)
 #   5. ravenlint         (repo-specific determinism / concurrency /
 #                         hygiene invariants; see internal/lint)
+#   6. benchmark smoke   (benchmarks still compile and run)
+#   7. checkpoint smoke  (a corrupted newest checkpoint generation is
+#                         skipped on resume, end to end through raven-sim)
 #
 # Any failure aborts with a nonzero exit. CI runs exactly this script,
 # so a green local run means a green CI run.
@@ -43,5 +46,21 @@ go run ./cmd/ravenlint ./...
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./internal/nn/... ./internal/core/... >/dev/null
+
+echo "==> checkpoint corruption smoke"
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "${CKPT_DIR}"' EXIT
+SIM_ARGS=(-synthetic poisson -requests 8000 -objects 100 -capacity 40 -policies raven -checkpoint "${CKPT_DIR}")
+go run ./cmd/raven-sim "${SIM_ARGS[@]}" >/dev/null
+newest="$(ls "${CKPT_DIR}"/raven-*.ckpt | sort | tail -1)"
+# Truncate the newest generation (torn write); the next run must skip
+# it and resume an older generation rather than load garbage.
+truncate -s -1 "${newest}"
+out="$(go run ./cmd/raven-sim "${SIM_ARGS[@]}")"
+if ! grep -q "1 corrupt skipped" <<<"${out}"; then
+    echo "checkpoint smoke FAILED: corrupted generation was not skipped on resume"
+    echo "${out}"
+    exit 1
+fi
 
 echo "verify: OK"
