@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"raven/internal/cache"
 	"raven/internal/core"
 	"raven/internal/policy"
 	"raven/internal/sim"
@@ -40,6 +41,7 @@ func main() {
 		warmup    = flag.Float64("warmup", 0.3, "fraction of requests excluded from statistics")
 		netKind   = flag.String("net", "", "latency model: cdn|memory|'' (off)")
 		workers   = flag.Int("workers", 1, "Raven training/eviction goroutines (results are bit-identical for any value)")
+		shards    = flag.Int("shards", 1, "cache shards, one policy instance each (1 = plain engine; rounded up to a power of two)")
 		ckptDir   = flag.String("checkpoint", "", "Raven checkpoint directory: resume from the newest valid generation, save after trainings")
 		ckptEvery = flag.Int("checkpoint-every", 1, "save a checkpoint generation every N completed trainings")
 		seed      = flag.Int64("seed", 42, "random seed")
@@ -84,37 +86,50 @@ func main() {
 		if name == "" {
 			continue
 		}
-		p, err := policy.New(name, policy.Options{
+		popts := policy.Options{
 			Capacity:        cap,
 			TrainWindow:     tr.Duration() / 8,
 			Seed:            *seed,
 			Workers:         *workers,
 			CheckpointDir:   *ckptDir,
 			CheckpointEvery: *ckptEvery,
-		})
+		}
+		factory, err := policy.Lookup(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "raven-sim:", err)
 			os.Exit(1)
 		}
-		if r, ok := p.(*core.Raven); ok && *ckptDir != "" {
-			if r.CkptResume.Path != "" {
-				fmt.Printf("%s: resumed checkpoint generation %d (%s), %d corrupt skipped\n",
-					name, r.CkptResume.Seq, r.CkptResume.Path, r.CkptResume.CorruptSkipped)
-			} else if r.CkptResume.CorruptSkipped > 0 {
-				fmt.Printf("%s: no valid checkpoint (%d corrupt skipped), starting cold\n",
-					name, r.CkptResume.CorruptSkipped)
-			}
+		res, err := sim.RunSharded(tr, name, *shards, factory.PerShard(popts, *shards), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raven-sim:", err)
+			os.Exit(1)
 		}
-		res := sim.Run(tr, p, opts)
+		label := name
+		if res.Shards > 1 {
+			label = fmt.Sprintf("%s[x%d]", name, res.Shards)
+		}
 		fmt.Printf("%-18s %8.4f %8.4f %12d %12.0f %10v\n",
-			name, res.OHR, res.BHR, res.Stats.Evictions, res.EvictionNanos.Mean, res.WallTime.Round(1e6))
-		if r, ok := p.(*core.Raven); ok {
+			label, res.OHR, res.BHR, res.Stats.Evictions, res.EvictionNanos.Mean, res.WallTime.Round(1e6))
+		for shard, p := range res.PolicyState.([]cache.Policy) {
+			r, ok := p.(*core.Raven)
+			if !ok {
+				continue
+			}
+			if *ckptDir != "" {
+				if r.CkptResume.Path != "" {
+					fmt.Printf("  shard%d: resumed checkpoint generation %d (%s), %d corrupt skipped\n",
+						shard, r.CkptResume.Seq, r.CkptResume.Path, r.CkptResume.CorruptSkipped)
+				} else if r.CkptResume.CorruptSkipped > 0 {
+					fmt.Printf("  shard%d: no valid checkpoint (%d corrupt skipped), starting cold\n",
+						shard, r.CkptResume.CorruptSkipped)
+				}
+			}
 			if n := len(r.HealthLog); n > 0 {
-				fmt.Printf("  health=%s transitions=%d rollbacks=%d\n",
-					r.Health(), n, countRollbacks(r.TrainStats))
+				fmt.Printf("  shard%d: health=%s transitions=%d rollbacks=%d\n",
+					shard, r.Health(), n, countRollbacks(r.TrainStats))
 			}
 			if r.CkptErr != nil {
-				fmt.Fprintf(os.Stderr, "raven-sim: checkpoint: %v\n", r.CkptErr)
+				fmt.Fprintf(os.Stderr, "raven-sim: shard%d checkpoint: %v\n", shard, r.CkptErr)
 			}
 		}
 		if opts.Net != nil {

@@ -24,12 +24,15 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"raven/internal/cache"
 	"raven/internal/core"
 	"raven/internal/nn"
 	"raven/internal/policy"
+	"raven/internal/server"
 	"raven/internal/sim"
 	"raven/internal/stats"
 	"raven/internal/trace"
@@ -58,6 +61,15 @@ type e2eResult struct {
 	ReqPerSec float64 `json:"requests_per_sec"`
 }
 
+type shardResult struct {
+	Shards    int     `json:"shards"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests_total"`
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"requests_per_sec"`
+	Speedup   float64 `json:"speedup_vs_one_shard"`
+}
+
 type report struct {
 	Date       string         `json:"date"`
 	GoVersion  string         `json:"go_version"`
@@ -67,6 +79,7 @@ type report struct {
 	TrainEpoch []workerResult `json:"train_epoch"`
 	Evict      []workerResult `json:"evict_decision"`
 	EndToEnd   []e2eResult    `json:"end_to_end_sim"`
+	ShardSweep []shardResult  `json:"shard_sweep_server"`
 }
 
 // timeOp measures ns/op of fn, running it repeatedly until at least
@@ -286,6 +299,82 @@ func benchEndToEnd(workers []int, requests int) []e2eResult {
 	return out
 }
 
+// benchShards measures server throughput across shard counts: for
+// each count it starts a TCP server whose cache is split into that
+// many shards (one LHD instance per shard — a policy with real
+// per-request compute, so the sharded critical section dominates and
+// the sweep measures lock contention, not syscall overhead) and
+// hammers it with concurrent clients issuing mixed GET/SET traffic.
+// Shard counts beyond the core count cannot speed up wall time — the
+// report's num_cpu/gomaxprocs fields tell flat curves on small
+// machines apart from regressions.
+func benchShards(shardCounts []int, clients, perClient int) []shardResult {
+	out := make([]shardResult, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		f, err := policy.Lookup("lhd")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ravenbench:", err)
+			os.Exit(1)
+		}
+		const capacity = 1 << 20
+		srv, err := server.New(server.Config{
+			Capacity:  capacity,
+			Shards:    n,
+			NewPolicy: f.PerShard(policy.Options{Capacity: capacity, Seed: 7}, n),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ravenbench:", err)
+			os.Exit(1)
+		}
+		var wg sync.WaitGroup
+		var failed atomic.Bool
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cl, err := server.Dial(srv.Addr())
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+				defer cl.Close()
+				cl.Timeout = 30 * time.Second
+				g := stats.NewRNG(int64(c + 1))
+				for i := 0; i < perClient; i++ {
+					key := trace.Key(g.Intn(8192))
+					size := int64(64 + int(key)%1024)
+					if g.Float64() < 0.1 {
+						_, err = cl.Set(key, size, -1)
+					} else {
+						_, err = cl.Get(key, size, -1)
+					}
+					if err != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		el := time.Since(start).Seconds()
+		_ = srv.Close()
+		if failed.Load() {
+			fmt.Fprintln(os.Stderr, "ravenbench: shard sweep client failed")
+			os.Exit(1)
+		}
+		total := clients * perClient
+		out = append(out, shardResult{
+			Shards: srv.Shards(), Clients: clients, Requests: total,
+			Seconds: el, ReqPerSec: float64(total) / el,
+		})
+	}
+	for i := range out {
+		out[i].Speedup = out[0].Seconds / out[i].Seconds
+	}
+	return out
+}
+
 func main() {
 	outDir := flag.String("out", ".", "directory for the BENCH_<date>.json report")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts (first is the serial baseline)")
@@ -326,6 +415,12 @@ func main() {
 	rep.Evict = benchEvict(workers)
 	fmt.Fprintln(os.Stderr, "==> end-to-end simulation")
 	rep.EndToEnd = benchEndToEnd(workers, reqs)
+	fmt.Fprintln(os.Stderr, "==> server shard sweep")
+	perClient := 4000
+	if *quick {
+		perClient = 500
+	}
+	rep.ShardSweep = benchShards([]int{1, 2, 4, 8}, 8, perClient)
 
 	path := filepath.Join(*outDir, "BENCH_"+rep.Date+".json")
 	buf, err := json.MarshalIndent(&rep, "", "  ")

@@ -8,9 +8,14 @@
 // Protocol (line-based text over TCP):
 //
 //	GET <key> <size> [time]  →  HIT <size> | MISS <size>
+//	SET <key> <size> [time]  →  STORED <size> | NOSTORED <size>
 //	STATS                    →  STATS <requests> <hits> <reqBytes> <hitBytes>
 //	METRICS                  →  METRICS <n> followed by n "name value" lines
 //	QUIT
+//
+// -shards splits the cache into independent shards (memcached-style,
+// rounded up to a power of two), each with its own policy instance and
+// lock, so concurrent clients on different shards never contend.
 //
 // The server shuts down cleanly on SIGINT or SIGTERM: it stops
 // accepting, drains in-flight connections up to -drain, force-closes
@@ -26,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"raven/internal/cache"
 	"raven/internal/core"
 	"raven/internal/obs"
 	"raven/internal/policy"
@@ -44,6 +50,7 @@ func run() int {
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
 		capacity = flag.Int64("capacity", 64<<20, "cache capacity in bytes")
 		polName  = flag.String("policy", "raven", "eviction policy name")
+		shards   = flag.Int("shards", 1, "cache shards, one policy instance each (rounded up to a power of two)")
 		window   = flag.Int64("window", 100000, "learning-policy training window in trace ticks")
 		cacheMS  = flag.Int("cachedelay", 0, "simulated per-request delay (ms)")
 		originMS = flag.Int("origindelay", 0, "simulated per-miss origin delay (ms)")
@@ -61,34 +68,35 @@ func run() int {
 	flag.Parse()
 
 	ravenObs := &obs.RavenObs{}
-	p, err := policy.New(*polName, policy.Options{
+	factory, err := policy.Lookup(*polName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ravencached:", err)
+		return 1
+	}
+	perShard := factory.PerShard(policy.Options{
 		Capacity:        *capacity,
 		TrainWindow:     *window,
 		Seed:            *seed,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Obs:             ravenObs,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ravencached:", err)
-		return 1
-	}
-	if r, ok := p.(*core.Raven); ok && *ckptDir != "" {
-		if r.CkptErr != nil {
-			fmt.Fprintln(os.Stderr, "ravencached: checkpoint:", r.CkptErr)
+	}, *shards)
+	// Capture each shard's policy as it is built so checkpoint-resume
+	// status can be reported per shard below.
+	var built []cache.Policy
+	newPolicy := func(shard int, capacity int64) (cache.Policy, error) {
+		p, err := perShard(shard, capacity)
+		if err != nil {
+			return nil, err
 		}
-		if r.CkptResume.Path != "" {
-			fmt.Printf("ravencached: resumed checkpoint generation %d (%s), %d corrupt skipped\n",
-				r.CkptResume.Seq, r.CkptResume.Path, r.CkptResume.CorruptSkipped)
-		} else {
-			fmt.Printf("ravencached: no valid checkpoint in %s (%d corrupt skipped), starting cold\n",
-				*ckptDir, r.CkptResume.CorruptSkipped)
-		}
+		built = append(built, p)
+		return p, nil
 	}
 	srv, err := server.New(server.Config{
 		Addr:         *addr,
 		Capacity:     *capacity,
-		Policy:       p,
+		Shards:       *shards,
+		NewPolicy:    newPolicy,
 		CacheDelay:   time.Duration(*cacheMS) * time.Millisecond,
 		OriginDelay:  time.Duration(*originMS) * time.Millisecond,
 		MaxConns:     *maxConns,
@@ -100,10 +108,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ravencached:", err)
 		return 1
 	}
+	if *ckptDir != "" {
+		for shard, p := range built {
+			r, ok := p.(*core.Raven)
+			if !ok {
+				continue
+			}
+			if r.CkptErr != nil {
+				fmt.Fprintf(os.Stderr, "ravencached: shard%d checkpoint: %v\n", shard, r.CkptErr)
+			}
+			if r.CkptResume.Path != "" {
+				fmt.Printf("ravencached: shard%d resumed checkpoint generation %d (%s), %d corrupt skipped\n",
+					shard, r.CkptResume.Seq, r.CkptResume.Path, r.CkptResume.CorruptSkipped)
+			} else {
+				fmt.Printf("ravencached: shard%d has no valid checkpoint (%d corrupt skipped), starting cold\n",
+					shard, r.CkptResume.CorruptSkipped)
+			}
+		}
+	}
 	// Model-lifecycle metrics join the same registry METRICS serves,
 	// so operators see rollbacks/health/checkpoint counters live.
 	ravenObs.Register(srv.Metrics(), "raven")
-	fmt.Printf("ravencached: policy=%s capacity=%d listening on %s\n", *polName, *capacity, srv.Addr())
+	fmt.Printf("ravencached: policy=%s capacity=%d shards=%d listening on %s\n",
+		*polName, *capacity, srv.Shards(), srv.Addr())
 
 	// Final stats print and drain run deferred so they happen on
 	// either signal (and in this order: stats reflect the fully

@@ -45,3 +45,27 @@ func ExampleNewCache() {
 	// Output:
 	// false true true
 }
+
+// ExampleNewShardedCache builds a 4-shard engine — one independent LRU
+// per shard, each under its own lock — and drives it concurrently-safe
+// request by request.
+func ExampleNewShardedCache() {
+	f, err := raven.LookupPolicy("lru")
+	if err != nil {
+		panic(err)
+	}
+	c, err := raven.NewShardedCache(1024, 4, f.PerShard(raven.PolicyOptions{Capacity: 1024}, 4))
+	if err != nil {
+		panic(err)
+	}
+	for k := raven.Key(0); k < 100; k++ {
+		c.Handle(raven.Request{Time: int64(k), Key: k, Size: 8})
+	}
+	for k := raven.Key(0); k < 100; k++ {
+		c.Handle(raven.Request{Time: 100 + int64(k), Key: k, Size: 8})
+	}
+	st := c.StatsSnapshot()
+	fmt.Printf("shards=%d requests=%d hits=%d\n", c.Shards(), st.Requests, st.Hits)
+	// Output:
+	// shards=4 requests=200 hits=100
+}

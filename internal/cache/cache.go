@@ -85,7 +85,28 @@ type Stats struct {
 	Admissions int64
 	// Rejections counts misses refused by admission control or size.
 	Rejections int64
+	// Sets counts explicit store operations (the server's SET command);
+	// they do not contribute to Requests/Hits, which measure lookups.
+	Sets int64
 }
+
+// Add accumulates o into s field by field. The sharded engine merges
+// per-shard snapshots with it, so totals are computed from consistent
+// copies rather than racing on live counters.
+func (s *Stats) Add(o Stats) {
+	s.Requests += o.Requests
+	s.Hits += o.Hits
+	s.ReqBytes += o.ReqBytes
+	s.HitBytes += o.HitBytes
+	s.Evictions += o.Evictions
+	s.OneHitWonders += o.OneHitWonders
+	s.Admissions += o.Admissions
+	s.Rejections += o.Rejections
+	s.Sets += o.Sets
+}
+
+// Misses returns the lookups that did not hit.
+func (s Stats) Misses() int64 { return s.Requests - s.Hits }
 
 // OHR returns the object hit ratio.
 func (s Stats) OHR() float64 {
@@ -168,7 +189,15 @@ func (c *Cache) Len() int { return len(c.entries) }
 func (c *Cache) Policy() Policy { return c.policy }
 
 // Stats returns a copy of the accumulated statistics.
+//
+// Deprecated: use StatsSnapshot, which Cache and Sharded share; Stats
+// remains for existing callers.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// StatsSnapshot returns a copy of the accumulated statistics. It is
+// the accessor shared with Sharded, so code written against it works
+// unchanged on either engine.
+func (c *Cache) StatsSnapshot() Stats { return c.stats }
 
 // ResetStats zeroes the statistics without touching cache contents or
 // policy state. The simulator uses it to exclude warmup periods, as
@@ -214,6 +243,14 @@ func (c *Cache) Handle(req Request) bool {
 		return true
 	}
 	c.policy.OnMiss(req)
+	c.admit(req)
+	return false
+}
+
+// admit runs the post-OnMiss admission sequence shared by Handle and
+// Set: capacity and admission-control checks, the eviction loop,
+// insertion, and accounting. It reports whether req was inserted.
+func (c *Cache) admit(req Request) bool {
 	if req.Size > c.capacity {
 		c.reject()
 		return false
@@ -239,7 +276,31 @@ func (c *Cache) Handle(req Request) bool {
 		c.obs.UsedBytes.Set(c.used)
 		c.obs.Objects.Set(int64(len(c.entries)))
 	}
-	return false
+	return true
+}
+
+// Set stores req.Key with req.Size (memcached-style SET). An existing
+// entry of the same size is refreshed through OnHit; a size change
+// evicts the stale entry first so policy metadata never
+// desynchronizes; a new entry runs the same OnMiss → admission →
+// eviction-loop → OnAdmit sequence as a miss-fill, so policies observe
+// a well-formed request stream. Set reports whether the object is
+// resident afterwards. It counts into Stats.Sets, not Requests/Hits,
+// which measure lookups.
+func (c *Cache) Set(req Request) bool {
+	c.stats.Sets++
+	if c.obs != nil {
+		c.obs.Sets.Inc()
+	}
+	if e, ok := c.entries[req.Key]; ok {
+		if e.size == req.Size {
+			c.policy.OnHit(req)
+			return true
+		}
+		c.evict(req.Key)
+	}
+	c.policy.OnMiss(req)
+	return c.admit(req)
 }
 
 func (c *Cache) reject() {

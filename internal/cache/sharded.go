@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"raven/internal/obs"
+)
+
+// ShardFactory builds the policy instance for one shard. shard is the
+// shard index and capacity the shard's byte capacity (the total split
+// evenly, remainder spread over the low shards). Factories must return
+// fully independent instances: shard policies run under different
+// locks, so any state shared between two instances is a data race.
+// policy.Factory.PerShard adapts a registered policy constructor to
+// this type, deriving per-shard seeds deterministically.
+type ShardFactory func(shard int, capacity int64) (Policy, error)
+
+// SingleFactory adapts one pre-built policy instance to a
+// ShardFactory. It is only valid for a 1-shard engine: a second call
+// would hand the same instance to a second lock domain, so it errors.
+func SingleFactory(p Policy) ShardFactory {
+	used := false
+	return func(shard int, capacity int64) (Policy, error) {
+		if used {
+			return nil, fmt.Errorf("cache: SingleFactory reused for shard %d; a shared policy instance across shards is a data race", shard)
+		}
+		used = true
+		return p, nil
+	}
+}
+
+// shard is one independent cache partition: its own engine (policy,
+// capacity accounting, stats) under its own lock.
+type shard struct {
+	mu sync.Mutex
+	c  *Cache
+}
+
+// Sharded partitions a cache into N independent shards, memcached
+// style. Each shard owns its own Policy instance, byte capacity, lock,
+// and Stats; a deterministic FNV-1a hash of the key (masked to the
+// power-of-two shard count) selects the shard, so requests for
+// different shards proceed in parallel while each policy still sees a
+// strictly serialized request stream — Raven's deterministic eviction
+// path is preserved unchanged inside every shard.
+//
+// Unlike Cache, Sharded is safe for concurrent use.
+type Sharded struct {
+	capacity int64
+	mask     uint64
+	shards   []shard
+}
+
+// NewSharded creates a sharded cache of the given total byte capacity.
+// shards is rounded up to the next power of two (the key hash is
+// masked, not reduced modulo); each shard receives capacity/N bytes
+// with the remainder spread one byte each over the low shards.
+// newPolicy is called once per shard, in shard order, with the shard's
+// index and capacity.
+func NewSharded(capacity int64, shards int, newPolicy ShardFactory) (*Sharded, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: sharded capacity must be positive, got %d", capacity)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("cache: shard count must be >= 1, got %d", shards)
+	}
+	if newPolicy == nil {
+		return nil, fmt.Errorf("cache: nil shard policy factory")
+	}
+	n := nextPow2(shards)
+	if int64(n) > capacity {
+		return nil, fmt.Errorf("cache: %d shards cannot split %d bytes (less than one byte per shard)", n, capacity)
+	}
+	s := &Sharded{
+		capacity: capacity,
+		mask:     uint64(n - 1),
+		shards:   make([]shard, n),
+	}
+	base, rem := capacity/int64(n), capacity%int64(n)
+	for i := range s.shards {
+		shardCap := base
+		if int64(i) < rem {
+			shardCap++
+		}
+		p, err := newPolicy(i, shardCap)
+		if err != nil {
+			return nil, fmt.Errorf("cache: building policy for shard %d: %w", i, err)
+		}
+		if p == nil {
+			return nil, fmt.Errorf("cache: shard %d factory returned a nil policy", i)
+		}
+		s.shards[i].c = New(shardCap, p)
+	}
+	return s, nil
+}
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// ShardIndex returns the shard the key maps to: FNV-1a over the key's
+// eight little-endian bytes, masked to the shard count. Exported so
+// tests and tools can pre-partition key spaces deterministically.
+func (s *Sharded) ShardIndex(key Key) int {
+	h := uint64(fnvOffset)
+	k := uint64(key)
+	for i := 0; i < 8; i++ {
+		h ^= k >> (8 * i) & 0xff
+		h *= fnvPrime
+	}
+	return int(h & s.mask)
+}
+
+// Shards returns the shard count (always a power of two).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Capacity returns the configured total capacity in bytes.
+func (s *Sharded) Capacity() int64 { return s.capacity }
+
+// ShardCapacity returns shard i's byte capacity.
+func (s *Sharded) ShardCapacity(i int) int64 { return s.shards[i].c.Capacity() }
+
+// Handle processes one lookup on the key's shard and reports whether
+// it hit. Only that shard's lock is held, so requests mapping to
+// different shards proceed in parallel.
+func (s *Sharded) Handle(req Request) bool {
+	sh := &s.shards[s.ShardIndex(req.Key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Handle(req)
+}
+
+// Set stores req on the key's shard (see Cache.Set) and reports
+// whether the object is resident afterwards.
+func (s *Sharded) Set(req Request) bool {
+	sh := &s.shards[s.ShardIndex(req.Key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Set(req)
+}
+
+// Contains reports whether key is cached on its shard.
+func (s *Sharded) Contains(key Key) bool {
+	sh := &s.shards[s.ShardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Contains(key)
+}
+
+// StatsSnapshot merges per-shard statistics into one total. Each
+// shard's snapshot is taken under its lock, so every addend is
+// internally consistent; the total is race-free by construction but
+// not an atomic cut across shards under concurrent load.
+func (s *Sharded) StatsSnapshot() Stats {
+	var total Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total.Add(sh.c.StatsSnapshot())
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// ShardStats returns shard i's statistics snapshot.
+func (s *Sharded) ShardStats(i int) Stats {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.StatsSnapshot()
+}
+
+// ResetStats zeroes every shard's statistics.
+func (s *Sharded) ResetStats() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.ResetStats()
+		sh.mu.Unlock()
+	}
+}
+
+// Used returns the bytes currently cached across all shards.
+func (s *Sharded) Used() int64 {
+	var used int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		used += sh.c.Used()
+		sh.mu.Unlock()
+	}
+	return used
+}
+
+// Len returns the number of cached objects across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Keys appends all cached keys across shards to dst in ascending order
+// and returns it (the same deterministic contract as Cache.Keys).
+func (s *Sharded) Keys(dst []Key) []Key {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		dst = sh.c.Keys(dst)
+		sh.mu.Unlock()
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// SetEvictionObserver registers fn on every shard. Under concurrent
+// load fn may be called from several goroutines (each holding its
+// shard's lock); a serial driver sees the same per-shard callback
+// order a single Cache would produce. fn runs inside the eviction path
+// with the evicting shard's lock held, so it must not call back into
+// the Sharded engine's locked methods (Keys, StatsSnapshot, ...) — that
+// self-deadlocks. Observers that need to inspect cache state at
+// eviction time use SetShardEvictionObserver instead.
+func (s *Sharded) SetEvictionObserver(fn func(victim Key)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.SetEvictionObserver(fn)
+		sh.mu.Unlock()
+	}
+}
+
+// SetShardEvictionObserver registers fn to run on every eviction with
+// the evicting shard's index and engine. fn executes inside the
+// eviction path while that shard's lock is held: it may inspect the
+// shard engine directly (Keys, StatsSnapshot — lock-free, already
+// serialized) but must not call the Sharded engine's own locked
+// methods. This is how measurement code (rank-order errors against the
+// Belady oracle) snapshots the cached-key set at eviction time; the
+// shard-local view is also the semantically right one, since a policy
+// only ever evicts within its own shard.
+func (s *Sharded) SetShardEvictionObserver(fn func(shard int, c *Cache, victim Key)) {
+	for i := range s.shards {
+		i := i
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.SetEvictionObserver(func(victim Key) { fn(i, sh.c, victim) })
+		sh.mu.Unlock()
+	}
+}
+
+// SetShardObs attaches live metrics to shard i's engine (see
+// Cache.SetObs). obs.ShardedCacheObs bundles one CacheObs per shard
+// plus merged totals.
+func (s *Sharded) SetShardObs(i int, m *obs.CacheObs) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.c.SetObs(m)
+}
+
+// Flush invokes every shard policy's Flush hook, in shard order.
+func (s *Sharded) Flush() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.Flush()
+		sh.mu.Unlock()
+	}
+}
+
+// ShardPolicy returns shard i's policy instance. Callers must not
+// invoke it concurrently with cache operations: the policy itself is
+// only serialized by the shard lock.
+func (s *Sharded) ShardPolicy(i int) Policy {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Policy()
+}

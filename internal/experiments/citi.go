@@ -37,7 +37,7 @@ func (r *Runner) Table5() *Report {
 		t.AnnotateNext()
 		opts := sim.Options{Capacity: capacity, WarmupFrac: warm, Seed: r.Cfg.Seed}
 		belady := sim.Run(t, policy.MustNew("belady", policy.Options{Capacity: capacity}), opts)
-		beladyMisses := float64(belady.Stats.Requests - belady.Stats.Hits)
+		beladyMisses := float64(belady.Stats.Misses())
 		for _, name := range pols {
 			var res *sim.Result
 			if name == "raven" {
@@ -53,7 +53,7 @@ func (r *Runner) Table5() *Report {
 			} else {
 				res = sim.Run(t, policy.MustNew(name, policy.Options{Capacity: capacity, Seed: r.Cfg.Seed}), opts)
 			}
-			misses := float64(res.Stats.Requests - res.Stats.Hits)
+			misses := float64(res.Stats.Misses())
 			missSum[name] += 1 - res.OHR
 			if beladyMisses > 0 {
 				ratioSum[name] += misses / beladyMisses

@@ -59,6 +59,7 @@ func DefaultRules() []Rule {
 		ruleFloatEqual(),
 		ruleUncheckedError(),
 		ruleCkptAtomicWrite(),
+		ruleShardLocalState(),
 	}
 }
 

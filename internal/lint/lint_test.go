@@ -628,6 +628,57 @@ func f(data []byte) error {
 `,
 		},
 
+		// ---- shard-local-state ----
+		{
+			name: "policy writes to package-level state are flagged",
+			src: `package fix
+var hits int
+var table = map[int]int{}
+func f() {
+	hits++
+	table[3] = 1
+}
+`,
+			want: []string{"5:[shard-local-state]", "6:[shard-local-state]"},
+		},
+		{
+			name: "instance-local and local-variable writes are allowed",
+			src: `package fix
+var defaults = 7
+type P struct{ n int }
+func (p *P) f() {
+	p.n++
+	local := defaults
+	local++
+	_ = local
+}
+`,
+		},
+		{
+			name: "init-time registration writes are allowed",
+			src: `package fix
+var registered bool
+func init() { registered = true }
+`,
+		},
+		{
+			name:    "package-level writes outside policy scope are allowed",
+			relfile: "internal/trace/gen.go",
+			src: `package trace
+var calls int
+func f() { calls++ }
+`,
+		},
+		{
+			name:    "raven core is in scope for shard-local state",
+			relfile: "internal/core/state.go",
+			src: `package core
+var window int64
+func f() { window = 9 }
+`,
+			want: []string{"3:[shard-local-state]"},
+		},
+
 		// ---- pragma-syntax ----
 		{
 			name: "pragma without a reason is itself a finding",

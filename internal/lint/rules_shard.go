@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// shardLocalScope reports whether the package holds policy
+// implementation code that the sharded cache engine instantiates once
+// per shard: the policy subpackages and Raven's core. The registry
+// root package (internal/policy) is exempt — its package-level builder
+// map is written only at init time, before any shard exists.
+func shardLocalScope(relDir string) bool {
+	return relDir == "internal/core" ||
+		strings.HasPrefix(relDir, "internal/core/") ||
+		strings.HasPrefix(relDir, "internal/policy/")
+}
+
+// ruleShardLocalState flags writes to package-level variables inside
+// policy implementations. The sharded engine builds one policy
+// instance per shard and serializes each only by its own shard lock;
+// any mutable state shared between instances through a package-level
+// variable is therefore a cross-shard data race — and, even without
+// sharding, it couples instances that experiments expect to be
+// independent. All policy state must hang off the instance. Writes in
+// init functions are allowed (they run once, before any shard is
+// built).
+func ruleShardLocalState() Rule {
+	const id = "shard-local-state"
+	return Rule{
+		ID:  id,
+		Doc: "policy state is instance-local: no writes to package-level variables (the sharded engine runs one instance per shard under different locks)",
+		Check: func(p *Package) []Finding {
+			if p.Pkg == nil || !shardLocalScope(p.RelDir) {
+				return nil
+			}
+			pkgScope := p.Pkg.Scope()
+			var out []Finding
+			report := func(lhs ast.Expr) {
+				root, _ := rootIdent(lhs)
+				v := p.varOf(root)
+				if v == nil || pkgScope.Lookup(v.Name()) != v {
+					return
+				}
+				out = append(out, p.finding(id, lhs.Pos(),
+					"write to package-level variable %q from policy code; shards share it across lock domains — move the state onto the policy instance", v.Name()))
+			}
+			p.eachFunc(func(file *ast.File, decl *ast.FuncDecl) {
+				if decl.Recv == nil && decl.Name.Name == "init" {
+					return
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range st.Lhs {
+							report(lhs)
+						}
+					case *ast.IncDecStmt:
+						report(st.X)
+					}
+					return true
+				})
+			})
+			return out
+		},
+	}
+}

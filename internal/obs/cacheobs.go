@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // CacheObs is the cache engine's observability surface: occupancy
 // gauges plus the request/eviction counters operators watch. The
 // engine updates it inline (a handful of atomic ops per request, no
@@ -16,6 +18,7 @@ type CacheObs struct {
 	Evictions  Counter
 	Admissions Counter
 	Rejections Counter
+	Sets       Counter
 }
 
 // Register adds every CacheObs metric to r under prefix (e.g.
@@ -28,4 +31,61 @@ func (co *CacheObs) Register(r *Registry, prefix string) {
 	r.adoptCounter(prefix+".evictions", &co.Evictions)
 	r.adoptCounter(prefix+".admissions", &co.Admissions)
 	r.adoptCounter(prefix+".rejections", &co.Rejections)
+	r.adoptCounter(prefix+".sets", &co.Sets)
+}
+
+// ShardedCacheObs is the observability surface of a sharded cache
+// engine: one CacheObs per shard (each shard's engine updates its own
+// with a few atomic ops, no cross-shard contention) plus merged totals
+// computed at snapshot time by summing the shard counters — so the
+// merged "cache.*" names always equal the sum of the "cache.shard<N>.*"
+// names in the same snapshot's terms, without any double accounting on
+// the hot path.
+type ShardedCacheObs struct {
+	shards []*CacheObs
+}
+
+// Init allocates per-shard metric bundles for n shards. It must be
+// called before Register or Shard.
+func (so *ShardedCacheObs) Init(n int) {
+	so.shards = make([]*CacheObs, n)
+	for i := range so.shards {
+		so.shards[i] = &CacheObs{}
+	}
+}
+
+// Shards returns how many shard bundles Init allocated.
+func (so *ShardedCacheObs) Shards() int { return len(so.shards) }
+
+// Shard returns shard i's metric bundle, to be attached to that
+// shard's engine (cache.Sharded.SetShardObs).
+func (so *ShardedCacheObs) Shard(i int) *CacheObs { return so.shards[i] }
+
+// sum folds one metric across shards at snapshot time.
+func (so *ShardedCacheObs) sum(get func(*CacheObs) int64) func() int64 {
+	return func() int64 {
+		var t int64
+		for _, s := range so.shards {
+			t += get(s)
+		}
+		return t
+	}
+}
+
+// Register adds the merged totals under prefix.* (same names a plain
+// CacheObs registers, so dashboards and reconciliation tests work
+// unchanged against either engine), then each shard's bundle under
+// prefix.shard<N>.*, in shard order.
+func (so *ShardedCacheObs) Register(r *Registry, prefix string) {
+	r.RegisterFunc(prefix+".used_bytes", so.sum(func(c *CacheObs) int64 { return c.UsedBytes.Load() }))
+	r.RegisterFunc(prefix+".objects", so.sum(func(c *CacheObs) int64 { return c.Objects.Load() }))
+	r.RegisterFunc(prefix+".requests", so.sum(func(c *CacheObs) int64 { return c.Requests.Load() }))
+	r.RegisterFunc(prefix+".hits", so.sum(func(c *CacheObs) int64 { return c.Hits.Load() }))
+	r.RegisterFunc(prefix+".evictions", so.sum(func(c *CacheObs) int64 { return c.Evictions.Load() }))
+	r.RegisterFunc(prefix+".admissions", so.sum(func(c *CacheObs) int64 { return c.Admissions.Load() }))
+	r.RegisterFunc(prefix+".rejections", so.sum(func(c *CacheObs) int64 { return c.Rejections.Load() }))
+	r.RegisterFunc(prefix+".sets", so.sum(func(c *CacheObs) int64 { return c.Sets.Load() }))
+	for i, s := range so.shards {
+		s.Register(r, fmt.Sprintf("%s.shard%d", prefix, i))
+	}
 }

@@ -164,6 +164,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindFunc
 )
 
 type entry struct {
@@ -172,6 +173,7 @@ type entry struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	fn   func() int64
 }
 
 // Registry is an ordered collection of named metrics. Registration
@@ -273,6 +275,19 @@ func (r *Registry) adoptHistogram(name string, h *Histogram) {
 	}
 }
 
+// RegisterFunc registers a derived metric: fn is evaluated at snapshot
+// time under the registry lock, so it must be fast and lock-free
+// (typically a sum of atomic loads). The sharded cache uses this to
+// serve merged per-shard totals that always equal the sum of the
+// individual shard counters. Existing names are left in place.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.find(name) < 0 {
+		r.entries = append(r.entries, entry{name: name, kind: kindFunc, fn: fn})
+	}
+}
+
 // Snapshot renders every metric as name/value pairs in registration
 // order. Histograms expand into six derived samples:
 // <name>.count, <name>.mean, <name>.p50, <name>.p90, <name>.p99,
@@ -296,6 +311,8 @@ func (r *Registry) Snapshot() []KV {
 				KV{e.name + ".p90", s.P90},
 				KV{e.name + ".p99", s.P99},
 				KV{e.name + ".max", s.Max})
+		case kindFunc:
+			out = append(out, KV{e.name, e.fn()})
 		}
 	}
 	return out

@@ -182,7 +182,7 @@ func TestCacheObsRegister(t *testing.T) {
 	if got["cache.requests"] != 1 || got["cache.used_bytes"] != 64 {
 		t.Errorf("snapshot %v", got)
 	}
-	if len(kvs) != 7 {
-		t.Errorf("want 7 cache metrics, got %d", len(kvs))
+	if len(kvs) != 8 {
+		t.Errorf("want 8 cache metrics, got %d", len(kvs))
 	}
 }

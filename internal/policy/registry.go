@@ -6,6 +6,7 @@ package policy
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"raven/internal/cache"
@@ -107,63 +108,123 @@ func (o Options) ravenConfig(goal core.Goal) core.Config {
 	return cfg
 }
 
-// builders maps policy names to constructors.
-var builders = map[string]func(o Options) cache.Policy{
-	"lru":    func(o Options) cache.Policy { return lru.New() },
-	"fifo":   func(o Options) cache.Policy { return lru.NewFIFO() },
-	"random": func(o Options) cache.Policy { return random.New(o.Seed) },
-	"lfu":    func(o Options) cache.Policy { return freq.NewLFU() },
-	"lfuda":  func(o Options) cache.Policy { return freq.NewLFUDA() },
-	"gdsf":   func(o Options) cache.Policy { return freq.NewGDSF() },
-	"lruk":   func(o Options) cache.Policy { return freq.NewLRUK(2) },
-	"s4lru":  func(o Options) cache.Policy { return lru.NewSLRU(4, o.Capacity) },
-	"thlru": func(o Options) cache.Policy {
-		return WithSizeThreshold(lru.New(), o.Capacity/50)
-	},
-	"ths4lru": func(o Options) cache.Policy {
-		return WithSizeThreshold(lru.NewSLRU(4, o.Capacity), o.Capacity/50)
-	},
-	"hyperbolic": func(o Options) cache.Policy {
-		return hyperbolic.New(o.Seed, hyperbolic.WithSizeAware())
-	},
-	"lhd":   func(o Options) cache.Policy { return lhd.New(o.Seed) },
-	"lecar": func(o Options) cache.Policy { return lecar.New(o.Seed, o.entries()) },
-	"ucb":   func(o Options) cache.Policy { return ucb.New(o.Seed) },
-	"lrb": func(o Options) cache.Policy {
-		return lrb.New(lrb.Config{MemoryWindow: o.window(), Seed: o.Seed})
-	},
-	"lhr":     func(o Options) cache.Policy { return lhr.New(lhr.GoalOHR, o.Seed) },
-	"lhr-bhr": func(o Options) cache.Policy { return lhr.New(lhr.GoalBHR, o.Seed) },
-	"lhr-adm": func(o Options) cache.Policy {
-		return lhr.New(lhr.GoalOHR, o.Seed, lhr.WithAdmission())
-	},
-	"adaptsize": func(o Options) cache.Policy { return adaptsize.New(o.Capacity, o.Seed) },
-	"arc":       func(o Options) cache.Policy { return arc.New(o.Capacity) },
-	"tinylfu":   func(o Options) cache.Policy { return tinylfu.New(o.Capacity, o.entries()) },
-	"marker":    func(o Options) cache.Policy { return marker.New(o.Seed) },
-	"predictivemarker": func(o Options) cache.Policy {
-		return marker.NewPredictive(o.Seed, marker.NewEWMAPredictor(0.3))
-	},
-	"parrot": func(o Options) cache.Policy { return parrot.New(parrot.Config{Seed: o.Seed}) },
-	"belady": func(o Options) cache.Policy { return belady.New() },
-	"belady-size": func(o Options) cache.Policy {
-		return belady.NewSize(o.Seed, 64)
-	},
-	"raven": func(o Options) cache.Policy {
-		return core.New(o.ravenConfig(core.GoalBHR))
-	},
-	"raven-ohr": func(o Options) cache.Policy {
-		return core.New(o.ravenConfig(core.GoalOHR))
-	},
+// Factory builds one fresh, fully independent policy instance from
+// Options. Every registered policy is a Factory, so callers that need
+// N identically-configured instances — the sharded cache engine builds
+// one per shard — hold the Factory once and invoke it repeatedly
+// instead of re-resolving the name.
+type Factory func(o Options) (cache.Policy, error)
+
+// PerShard adapts the factory to the sharded engine's constructor
+// signature: each shard gets an instance built from o with the shard's
+// own byte capacity, a deterministically derived RNG seed
+// (o.Seed + shardIndex, so shard 0 of a 1-shard engine is bit-identical
+// to the unsharded policy), and — when checkpointing is on and shards
+// > 1 — a per-shard checkpoint subdirectory so shards never overwrite
+// each other's generations. A single-shard engine keeps o.CheckpointDir
+// unchanged, so its checkpoint layout (and resume of checkpoints
+// written by the unsharded engine) is identical to the unsharded path.
+// Pass the same shard count the engine is built with; engines that
+// round the count up to a power of two stay consistent because
+// rounding never crosses the shards<=1 boundary.
+func (f Factory) PerShard(o Options, shards int) cache.ShardFactory {
+	return func(shard int, capacity int64) (cache.Policy, error) {
+		so := o
+		so.Capacity = capacity
+		so.Seed = o.Seed + int64(shard)
+		if o.CheckpointDir != "" && shards > 1 {
+			so.CheckpointDir = filepath.Join(o.CheckpointDir, fmt.Sprintf("shard%d", shard))
+		}
+		return f(so)
+	}
 }
 
-// New builds a policy by name.
-func New(name string, o Options) (cache.Policy, error) {
-	b, ok := builders[name]
+// builders maps policy names to registered factories.
+var builders = map[string]Factory{}
+
+// Register adds a named policy constructor to the registry and returns
+// it as a reusable Factory. Registering a taken name panics: two
+// packages claiming one name is a programmer error that must fail
+// loudly at init time, not shadow silently.
+func Register(name string, build func(o Options) (cache.Policy, error)) Factory {
+	if _, dup := builders[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name)) //lint:allow no-panic duplicate registration is an init-time programmer error
+	}
+	f := Factory(build)
+	builders[name] = f
+	return f
+}
+
+// ok wraps an error-free constructor as a Factory body.
+func ok(build func(o Options) cache.Policy) func(o Options) (cache.Policy, error) {
+	return func(o Options) (cache.Policy, error) { return build(o), nil }
+}
+
+func init() {
+	Register("lru", ok(func(o Options) cache.Policy { return lru.New() }))
+	Register("fifo", ok(func(o Options) cache.Policy { return lru.NewFIFO() }))
+	Register("random", ok(func(o Options) cache.Policy { return random.New(o.Seed) }))
+	Register("lfu", ok(func(o Options) cache.Policy { return freq.NewLFU() }))
+	Register("lfuda", ok(func(o Options) cache.Policy { return freq.NewLFUDA() }))
+	Register("gdsf", ok(func(o Options) cache.Policy { return freq.NewGDSF() }))
+	Register("lruk", ok(func(o Options) cache.Policy { return freq.NewLRUK(2) }))
+	Register("s4lru", ok(func(o Options) cache.Policy { return lru.NewSLRU(4, o.Capacity) }))
+	Register("thlru", ok(func(o Options) cache.Policy {
+		return WithSizeThreshold(lru.New(), o.Capacity/50)
+	}))
+	Register("ths4lru", ok(func(o Options) cache.Policy {
+		return WithSizeThreshold(lru.NewSLRU(4, o.Capacity), o.Capacity/50)
+	}))
+	Register("hyperbolic", ok(func(o Options) cache.Policy {
+		return hyperbolic.New(o.Seed, hyperbolic.WithSizeAware())
+	}))
+	Register("lhd", ok(func(o Options) cache.Policy { return lhd.New(o.Seed) }))
+	Register("lecar", ok(func(o Options) cache.Policy { return lecar.New(o.Seed, o.entries()) }))
+	Register("ucb", ok(func(o Options) cache.Policy { return ucb.New(o.Seed) }))
+	Register("lrb", ok(func(o Options) cache.Policy {
+		return lrb.New(lrb.Config{MemoryWindow: o.window(), Seed: o.Seed})
+	}))
+	Register("lhr", ok(func(o Options) cache.Policy { return lhr.New(lhr.GoalOHR, o.Seed) }))
+	Register("lhr-bhr", ok(func(o Options) cache.Policy { return lhr.New(lhr.GoalBHR, o.Seed) }))
+	Register("lhr-adm", ok(func(o Options) cache.Policy {
+		return lhr.New(lhr.GoalOHR, o.Seed, lhr.WithAdmission())
+	}))
+	Register("adaptsize", ok(func(o Options) cache.Policy { return adaptsize.New(o.Capacity, o.Seed) }))
+	Register("arc", ok(func(o Options) cache.Policy { return arc.New(o.Capacity) }))
+	Register("tinylfu", ok(func(o Options) cache.Policy { return tinylfu.New(o.Capacity, o.entries()) }))
+	Register("marker", ok(func(o Options) cache.Policy { return marker.New(o.Seed) }))
+	Register("predictivemarker", ok(func(o Options) cache.Policy {
+		return marker.NewPredictive(o.Seed, marker.NewEWMAPredictor(0.3))
+	}))
+	Register("parrot", ok(func(o Options) cache.Policy { return parrot.New(parrot.Config{Seed: o.Seed}) }))
+	Register("belady", ok(func(o Options) cache.Policy { return belady.New() }))
+	Register("belady-size", ok(func(o Options) cache.Policy {
+		return belady.NewSize(o.Seed, 64)
+	}))
+	Register("raven", ok(func(o Options) cache.Policy {
+		return core.New(o.ravenConfig(core.GoalBHR))
+	}))
+	Register("raven-ohr", ok(func(o Options) cache.Policy {
+		return core.New(o.ravenConfig(core.GoalOHR))
+	}))
+}
+
+// Lookup resolves a registered policy name to its Factory.
+func Lookup(name string) (Factory, error) {
+	f, ok := builders[name]
 	if !ok {
 		return nil, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
 	}
-	return b(o), nil
+	return f, nil
+}
+
+// New builds a policy by name: a thin wrapper over Lookup + Factory.
+func New(name string, o Options) (cache.Policy, error) {
+	f, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(o)
 }
 
 // MustNew is New for callers with static names; it panics on error.

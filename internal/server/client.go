@@ -112,14 +112,52 @@ func (c *Client) Get(key trace.Key, size int64, ts int64) (bool, error) {
 	}
 }
 
+// Set stores one object on the server (SET command) and reports
+// whether it was stored. The round trip runs under the client's
+// Timeout; it does not retry (see setRetry).
+func (c *Client) Set(key trace.Key, size int64, ts int64) (bool, error) {
+	c.armDeadline()
+	if ts >= 0 {
+		fmt.Fprintf(c.w, "SET %d %d %d\n", key, size, ts)
+	} else {
+		fmt.Fprintf(c.w, "SET %d %d\n", key, size)
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case strings.HasPrefix(line, "STORED"):
+		return true, nil
+	case strings.HasPrefix(line, "NOSTORED"):
+		return false, nil
+	default:
+		return false, fmt.Errorf("client: unexpected reply %q", strings.TrimSpace(line))
+	}
+}
+
 // getRetry is Get plus recovery: on failure it reconnects with
 // exponential backoff and resends, up to MaxRetries attempts. A
 // request the server sheds with "ERR busy" lands here too — the
 // backoff gives the server room to drain before the retry.
 func (c *Client) getRetry(key trace.Key, size int64, ts int64) (bool, error) {
-	hit, err := c.Get(key, size, ts)
+	return c.withRetry(func() (bool, error) { return c.Get(key, size, ts) })
+}
+
+// setRetry is Set with the same reconnect-and-backoff recovery.
+func (c *Client) setRetry(key trace.Key, size int64, ts int64) (bool, error) {
+	return c.withRetry(func() (bool, error) { return c.Set(key, size, ts) })
+}
+
+// withRetry runs one request, reconnecting with exponential backoff
+// and resending on failure, up to MaxRetries attempts.
+func (c *Client) withRetry(do func() (bool, error)) (bool, error) {
+	ok, err := do()
 	if err == nil {
-		return hit, nil
+		return ok, nil
 	}
 	backoff := c.RetryBackoff
 	if backoff <= 0 {
@@ -135,9 +173,9 @@ func (c *Client) getRetry(key trace.Key, size int64, ts int64) (bool, error) {
 			err = rerr
 			continue
 		}
-		hit, err = c.Get(key, size, ts)
+		ok, err = do()
 		if err == nil {
-			return hit, nil
+			return ok, nil
 		}
 	}
 	return false, fmt.Errorf("client: giving up after %d retries: %w", c.MaxRetries, err)

@@ -3,6 +3,7 @@
 // Server integration. It serves a line-based text protocol over TCP:
 //
 //	GET <key> <size> [time]\n →  HIT <size>\n | MISS <size>\n
+//	SET <key> <size> [time]\n →  STORED <size>\n | NOSTORED <size>\n
 //	STATS\n                   →  STATS <requests> <hits> <reqBytes> <hitBytes>\n
 //	METRICS\n                 →  METRICS <n>\n followed by n "name value" lines
 //	QUIT\n                    →  connection close
@@ -12,6 +13,15 @@
 // reduced scale so experiments finish quickly. Any eviction policy
 // from this repository can drive the server; the "unmodified ATS"
 // baseline is the same server with LRU.
+//
+// The cache behind the server is sharded (cache.Sharded): N
+// independent shards, each with its own policy instance, capacity
+// slice, lock, and statistics, selected by a deterministic hash of the
+// key. There is no global cache lock — GET/SET on different shards
+// proceed in parallel, so one slow eviction decision (Raven inference)
+// stalls only the requests that hash to the same shard. Per-shard
+// metrics are exported as cache.shard<N>.* next to the merged cache.*
+// totals.
 //
 // The server is hardened for hostile and heavy clients: every
 // connection runs under read/write deadlines, an idle timeout reaps
@@ -32,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"raven/internal/cache"
@@ -60,10 +71,20 @@ const maxConsecutiveAcceptErrors = 16
 type Config struct {
 	// Addr to listen on; use "127.0.0.1:0" for an ephemeral port.
 	Addr string
-	// Capacity of the cache in bytes.
+	// Capacity of the cache in bytes (the total across all shards).
 	Capacity int64
-	// Policy drives evictions. The server serializes access to it.
+	// Policy drives evictions in the default single-shard setup. The
+	// shard lock serializes access to it. Mutually exclusive with
+	// NewPolicy; invalid when Shards > 1 (one instance cannot serve
+	// two lock domains).
 	Policy cache.Policy
+	// Shards is the number of cache shards (rounded up to a power of
+	// two; 0 = 1). Requests for different shards proceed in parallel.
+	Shards int
+	// NewPolicy builds one independent policy instance per shard; use
+	// policy.Factory.PerShard to derive it from a registered policy.
+	// Required when Shards > 1.
+	NewPolicy cache.ShardFactory
 
 	// CacheDelay is charged on every request (edge RTT), OriginDelay
 	// additionally on every miss.
@@ -121,6 +142,7 @@ type serverMetrics struct {
 	lineTooLong   *obs.Counter
 	badRequests   *obs.Counter
 	getLatency    *obs.Histogram
+	setLatency    *obs.Histogram
 }
 
 // Server is a TCP cache server.
@@ -128,8 +150,12 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	mu    sync.Mutex
-	cache *cache.Cache
+	// engine is the sharded cache; it owns all locking (per shard), so
+	// the server has no global cache mutex on the request path.
+	engine *cache.Sharded
+	// vclock is the fallback virtual clock for clients that send no
+	// trace timestamps: a monotone request counter across all shards.
+	vclock atomic.Int64
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -145,11 +171,29 @@ type Server struct {
 
 // New creates and starts a server listening on cfg.Addr.
 func New(cfg Config) (*Server, error) {
-	if cfg.Policy == nil {
-		return nil, errors.New("server: nil policy")
+	if cfg.Policy == nil && cfg.NewPolicy == nil {
+		return nil, errors.New("server: need a Policy or a NewPolicy shard factory")
+	}
+	if cfg.Policy != nil && cfg.NewPolicy != nil {
+		return nil, errors.New("server: Policy and NewPolicy are mutually exclusive")
 	}
 	if cfg.Capacity <= 0 {
 		return nil, errors.New("server: capacity must be positive")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	factory := cfg.NewPolicy
+	if factory == nil {
+		if shards > 1 {
+			return nil, errors.New("server: Shards > 1 requires NewPolicy (one Policy instance cannot serve several shard locks)")
+		}
+		factory = cache.SingleFactory(cfg.Policy)
+	}
+	engine, err := cache.NewSharded(cfg.Capacity, shards, factory)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
@@ -162,7 +206,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		ln:      ln,
-		cache:   cache.New(cfg.Capacity, cfg.Policy),
+		engine:  engine,
 		closed:  make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 		metrics: reg,
@@ -176,25 +220,29 @@ func New(cfg Config) (*Server, error) {
 			lineTooLong:   reg.Counter("server.line_too_long"),
 			badRequests:   reg.Counter("server.bad_requests"),
 			getLatency:    reg.Histogram("server.get_latency_ns"),
+			setLatency:    reg.Histogram("server.set_latency_ns"),
 		},
 	}
-	cacheObs := &obs.CacheObs{}
+	cacheObs := &obs.ShardedCacheObs{}
+	cacheObs.Init(engine.Shards())
 	cacheObs.Register(reg, "cache")
-	s.cache.SetObs(cacheObs)
+	for i := 0; i < engine.Shards(); i++ {
+		engine.SetShardObs(i, cacheObs.Shard(i))
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
+// Shards returns the engine's shard count (a power of two).
+func (s *Server) Shards() int { return s.engine.Shards() }
+
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Stats returns a snapshot of the cache statistics.
-func (s *Server) Stats() cache.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cache.Stats()
-}
+// Stats returns merged per-shard cache statistics. Each shard's
+// snapshot is taken under its own lock; see Sharded.StatsSnapshot.
+func (s *Server) Stats() cache.Stats { return s.engine.StatsSnapshot() }
 
 // Metrics returns the server's metric registry (live counters, gauges,
 // and latency histograms — the same data METRICS serves on the wire).
@@ -379,11 +427,11 @@ func (s *Server) handle(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
-		switch strings.ToUpper(fields[0]) {
-		case "GET":
+		switch verb := strings.ToUpper(fields[0]); verb {
+		case "GET", "SET":
 			if len(fields) != 3 && len(fields) != 4 {
 				s.met.badRequests.Inc()
-				if !send("ERR want: GET <key> <size> [time]\n") {
+				if !send("ERR want: %s <key> <size> [time]\n", verb) {
 					return
 				}
 				continue
@@ -410,19 +458,32 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 			t0 := time.Now()
-			hit := s.serve(trace.Key(key), size, ts)
-			if s.cfg.CacheDelay > 0 {
-				time.Sleep(s.cfg.CacheDelay)
+			var reply string
+			var hist *obs.Histogram
+			if verb == "GET" {
+				hit := s.serve(trace.Key(key), size, ts)
+				if s.cfg.CacheDelay > 0 {
+					time.Sleep(s.cfg.CacheDelay)
+				}
+				if !hit && s.cfg.OriginDelay > 0 {
+					time.Sleep(s.cfg.OriginDelay)
+				}
+				reply, hist = "MISS", s.met.getLatency
+				if hit {
+					reply = "HIT"
+				}
+			} else {
+				stored := s.serveSet(trace.Key(key), size, ts)
+				if s.cfg.CacheDelay > 0 {
+					time.Sleep(s.cfg.CacheDelay)
+				}
+				reply, hist = "NOSTORED", s.met.setLatency
+				if stored {
+					reply = "STORED"
+				}
 			}
-			if !hit && s.cfg.OriginDelay > 0 {
-				time.Sleep(s.cfg.OriginDelay)
-			}
-			verb := "MISS"
-			if hit {
-				verb = "HIT"
-			}
-			ok := send("%s %d\n", verb, size)
-			s.met.getLatency.Observe(time.Since(t0).Nanoseconds())
+			ok := send("%s %d\n", reply, size)
+			hist.Observe(time.Since(t0).Nanoseconds())
 			if !ok {
 				return
 			}
@@ -472,15 +533,24 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// serve handles one request under the cache lock. ts < 0 substitutes
-// a request-count virtual clock so learning policies' training windows
-// still advance for clients that do not send trace timestamps.
+// serve handles one lookup on the key's shard; only that shard's lock
+// is held. ts < 0 substitutes a request-count virtual clock so
+// learning policies' training windows still advance for clients that
+// do not send trace timestamps.
 func (s *Server) serve(key trace.Key, size int64, ts int64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if ts < 0 {
-		ts = s.cache.Stats().Requests + 1
+		ts = s.vclock.Add(1)
 	}
 	req := trace.Request{Time: ts, Key: key, Size: size, Next: trace.NoNext}
-	return s.cache.Handle(req)
+	return s.engine.Handle(req)
+}
+
+// serveSet stores one object on the key's shard (see cache.Cache.Set)
+// and reports whether it is resident afterwards.
+func (s *Server) serveSet(key trace.Key, size int64, ts int64) bool {
+	if ts < 0 {
+		ts = s.vclock.Add(1)
+	}
+	req := trace.Request{Time: ts, Key: key, Size: size, Next: trace.NoNext}
+	return s.engine.Set(req)
 }

@@ -64,6 +64,9 @@ type Result struct {
 	Policy   string
 	Trace    string
 	Capacity int64
+	// Shards is the shard count of the engine under test (0 for the
+	// plain unsharded engine, >= 1 for RunSharded).
+	Shards int
 
 	Stats cache.Stats
 	OHR   float64
@@ -87,25 +90,44 @@ type Result struct {
 	WallTime time.Duration
 }
 
-// timedPolicy decorates a policy, measuring Victim wall time and
-// forwarding the optional Admitter/Flusher extensions.
-type timedPolicy struct {
-	cache.Policy
+// Engine is what a replay drives: the plain cache engine or the
+// sharded one. Both *cache.Cache and *cache.Sharded satisfy it.
+type Engine interface {
+	Handle(cache.Request) bool
+	StatsSnapshot() cache.Stats
+	ResetStats()
+	Keys(buf []cache.Key) []cache.Key
+	SetEvictionObserver(func(cache.Key))
+	Flush()
+}
+
+// evictTimer accumulates per-eviction compute time. Shards of a
+// sharded run share one timer, so the measurement covers the whole
+// engine exactly as in the unsharded case (the replay is serial, so
+// no synchronization is needed).
+type evictTimer struct {
 	res  *stats.Reservoir
 	hist *obs.Histogram
 	sum  time.Duration
 	n    int64
 }
 
+// timedPolicy decorates a policy, measuring Victim wall time and
+// forwarding the optional Admitter/Flusher extensions.
+type timedPolicy struct {
+	cache.Policy
+	t *evictTimer
+}
+
 func (t *timedPolicy) Victim() (cache.Key, bool) {
 	start := time.Now()
 	k, ok := t.Policy.Victim()
 	d := time.Since(start)
-	t.sum += d
-	t.n++
-	t.res.Add(float64(d.Nanoseconds()))
-	if t.hist != nil {
-		t.hist.Observe(d.Nanoseconds())
+	t.t.sum += d
+	t.t.n++
+	t.t.res.Add(float64(d.Nanoseconds()))
+	if t.t.hist != nil {
+		t.t.hist.Observe(d.Nanoseconds())
 	}
 	return k, ok
 }
@@ -126,17 +148,53 @@ func (t *timedPolicy) Flush() {
 // Run replays tr through a cache of opts.Capacity driven by p.
 // The trace is annotated with oracle next-arrival times on demand.
 func Run(tr *trace.Trace, p cache.Policy, opts Options) *Result {
+	tm := &evictTimer{res: stats.NewReservoir(4096, opts.Seed+1), hist: opts.ObsEvictNanos}
+	c := cache.New(opts.Capacity, &timedPolicy{Policy: p, t: tm})
+	if opts.Obs != nil {
+		c.SetObs(opts.Obs)
+	}
+	res := replay(tr, c, p.Name(), tm, opts)
+	res.PolicyState = p
+	return res
+}
+
+// RunSharded replays tr through a sharded engine of opts.Capacity
+// split over the given shard count, building one policy per shard via
+// newPolicy (see policy.Factory.PerShard). With shards == 1 the run is
+// bit-identical to Run on the same policy. PolicyState holds the
+// per-shard policy instances ([]cache.Policy, shard order); opts.Obs
+// is attached only when shards == 1 (a multi-shard engine needs
+// per-shard observers — see cache.Sharded.SetShardObs).
+func RunSharded(tr *trace.Trace, name string, shards int, newPolicy cache.ShardFactory, opts Options) (*Result, error) {
+	tm := &evictTimer{res: stats.NewReservoir(4096, opts.Seed+1), hist: opts.ObsEvictNanos}
+	var policies []cache.Policy
+	eng, err := cache.NewSharded(opts.Capacity, shards, func(shard int, capacity int64) (cache.Policy, error) {
+		p, err := newPolicy(shard, capacity)
+		if err != nil {
+			return nil, err
+		}
+		policies = append(policies, p)
+		return &timedPolicy{Policy: p, t: tm}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.Obs != nil && eng.Shards() == 1 {
+		eng.SetShardObs(0, opts.Obs)
+	}
+	res := replay(tr, eng, name, tm, opts)
+	res.Shards = eng.Shards()
+	res.PolicyState = policies
+	return res, nil
+}
+
+// replay is the measurement loop shared by Run and RunSharded.
+func replay(tr *trace.Trace, c Engine, name string, tp *evictTimer, opts Options) *Result {
 	if !tr.Annotated() {
 		tr.AnnotateNext()
 	}
 	start := time.Now()
-	res := &Result{Policy: p.Name(), Trace: tr.Name, Capacity: opts.Capacity, PolicyState: p}
-
-	tp := &timedPolicy{Policy: p, res: stats.NewReservoir(4096, opts.Seed+1), hist: opts.ObsEvictNanos}
-	c := cache.New(opts.Capacity, tp)
-	if opts.Obs != nil {
-		c.SetObs(opts.Obs)
-	}
+	res := &Result{Policy: name, Trace: tr.Name, Capacity: opts.Capacity}
 
 	warmIdx := int(opts.WarmupFrac * float64(tr.Len()))
 
@@ -148,7 +206,7 @@ func Run(tr *trace.Trace, p cache.Policy, opts Options) *Result {
 	rng := stats.NewRNG(opts.Seed + 2)
 	if opts.RankOrderEvery > 0 {
 		oracle = NewOracle(tr)
-		c.SetEvictionObserver(func(victim cache.Key) {
+		observe := func(keys func([]cache.Key) []cache.Key, victim cache.Key) {
 			if !collecting {
 				return
 			}
@@ -156,10 +214,22 @@ func Run(tr *trace.Trace, p cache.Policy, opts Options) *Result {
 			if (evictions-1)%opts.RankOrderEvery != 0 {
 				return
 			}
-			keyBuf = c.Keys(keyBuf[:0])
+			keyBuf = keys(keyBuf[:0])
 			res.RankErrors = append(res.RankErrors,
 				rankError(oracle, keyBuf, victim, now, opts.RankOrderMaxCached, rng))
-		})
+		}
+		if sh, ok := c.(*cache.Sharded); ok {
+			// The observer runs with the evicting shard's lock held, so
+			// it must read keys from that shard's engine, not through
+			// the sharded engine's own locks. Ranking against the
+			// shard's keys is also the right semantic: the policy only
+			// chooses victims within its shard.
+			sh.SetShardEvictionObserver(func(_ int, sc *cache.Cache, victim cache.Key) {
+				observe(sc.Keys, victim)
+			})
+		} else {
+			c.SetEvictionObserver(func(victim cache.Key) { observe(c.Keys, victim) })
+		}
 	}
 
 	var lat *stats.Reservoir
@@ -227,13 +297,13 @@ func Run(tr *trace.Trace, p cache.Policy, opts Options) *Result {
 			}
 		}
 		if curveEvery > 0 && (i+1)%curveEvery == 0 {
-			st := c.Stats()
+			st := c.StatsSnapshot()
 			res.Curve = append(res.Curve, CurvePoint{Requests: i + 1, OHR: st.OHR(), BHR: st.BHR()})
 		}
 	}
 	c.Flush()
 
-	res.Stats = c.Stats()
+	res.Stats = c.StatsSnapshot()
 	res.OHR = res.Stats.OHR()
 	res.BHR = res.Stats.BHR()
 	res.EvictionNanos = tp.res.Summary()

@@ -51,10 +51,18 @@ type (
 	Policy = cache.Policy
 	// Cache couples a Policy with capacity accounting.
 	Cache = cache.Cache
+	// ShardedCache is a memcached-style sharded engine: independent
+	// shards, each with its own Policy instance, byte budget, and lock.
+	ShardedCache = cache.Sharded
+	// ShardFactory builds one policy per shard (see PolicyFactory.PerShard).
+	ShardFactory = cache.ShardFactory
 	// Stats holds hit/byte counters.
 	Stats = cache.Stats
 	// PolicyOptions configures construction of named policies.
 	PolicyOptions = policy.Options
+	// PolicyFactory builds fresh, independent instances of one
+	// registered policy; PerShard adapts it to a ShardFactory.
+	PolicyFactory = policy.Factory
 	// RavenConfig configures the Raven policy itself.
 	RavenConfig = core.Config
 	// Raven is the paper's learning eviction policy.
@@ -103,11 +111,26 @@ func MustNewPolicy(name string, opts PolicyOptions) Policy {
 	return policy.MustNew(name, opts)
 }
 
+// LookupPolicy resolves a registered policy name to its factory, for
+// callers that need several identically-configured instances (one per
+// shard, one per experiment arm) without re-resolving the name.
+func LookupPolicy(name string) (PolicyFactory, error) { return policy.Lookup(name) }
+
 // PolicyNames lists every registered policy.
 func PolicyNames() []string { return policy.Names() }
 
 // NewCache couples a policy with a byte-capacity cache.
 func NewCache(capacity int64, p Policy) *Cache { return cache.New(capacity, p) }
+
+// NewShardedCache splits capacity over the given number of shards
+// (rounded up to a power of two), building one policy per shard via
+// newPolicy — typically LookupPolicy(name).PerShard(opts, shards).
+// Keys map to shards by a deterministic hash; each shard runs under
+// its own lock,
+// so concurrent requests for different shards never contend.
+func NewShardedCache(capacity int64, shards int, newPolicy ShardFactory) (*ShardedCache, error) {
+	return cache.NewSharded(capacity, shards, newPolicy)
+}
 
 // Simulate replays a trace through a fresh cache and returns the
 // measurements.

@@ -3,6 +3,9 @@
 #
 # Writes BENCH_<date>.json into the repo root (override with -out DIR).
 # Pass -quick for a fast smoke run; see cmd/ravenbench for all flags.
+# The report includes the server shard sweep (1/2/4/8 shards x 8
+# concurrent clients); shard speedups need real cores, so read it next
+# to the recorded num_cpu/gomaxprocs fields.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 go run ./cmd/ravenbench "$@"

@@ -5,7 +5,10 @@
 #   1. go vet            (stdlib static checks: printf verbs, copylocks, tags)
 #   2. go build          (everything compiles)
 #   3. go test           (full unit + integration suite)
-#   4. go test -race     (concurrent packages under the race detector)
+#   4. go test -race     (concurrent packages under the race detector,
+#                         plus the dedicated sharded-engine stress run:
+#                         100 clients of mixed GET/SET against an
+#                         8-shard server, reconciling METRICS totals)
 #   5. ravenlint         (repo-specific determinism / concurrency /
 #                         hygiene invariants; see internal/lint)
 #   6. benchmark smoke   (benchmarks still compile and run)
@@ -37,6 +40,11 @@ if [[ "${SKIP_RACE:-0}" != "1" ]]; then
     echo "==> go test -race ${RACE_PKGS}"
     # shellcheck disable=SC2086
     go test -race ${RACE_PKGS}
+    # The sharded engine's cross-shard stress runs again explicitly
+    # (-count=1 defeats the test cache) so the per-shard-lock fast path
+    # is always exercised fresh under the race detector.
+    echo "==> sharded cross-shard race stress (100 clients, mixed GET/SET)"
+    go test -race -count=1 -run 'TestShardedStress|TestShardedConcurrent' ./internal/server/ ./internal/cache/
 else
     echo "==> skipping -race (SKIP_RACE=1; CI runs it as a dedicated job)"
 fi
