@@ -313,6 +313,7 @@ func (c *Cache) reject() {
 func (c *Cache) evict(key Key) {
 	e, ok := c.entries[key]
 	if !ok {
+		//lint:allow hot-path-purity formats the already-fatal panic message; unreachable on the healthy path
 		panic(fmt.Sprintf("cache: policy %q returned non-resident victim %d", c.policy.Name(), key)) //lint:allow no-panic a policy returning a non-resident victim breaks the engine contract; unrecoverable
 	}
 	if c.observer != nil {

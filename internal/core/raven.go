@@ -501,6 +501,7 @@ func (r *Raven) prepareCandidates() {
 	r.scrIdx = r.set.Sample(r.rng, r.cfg.CandidateSample, r.scrIdx)
 	n := len(r.scrIdx)
 	if cap(r.scrMix) < n {
+		//lint:allow hot-path-purity cap-guarded scratch growth; amortized to zero allocs at steady state
 		r.scrMix = make([]nn.Mixture, n)
 		r.scrKeys = make([]cache.Key, n)
 		r.scrSize = make([]int64, n)
@@ -557,6 +558,7 @@ func cumWeights(w []float64, dst []float64) []float64 {
 	acc := 0.0
 	for _, wi := range w {
 		acc += wi
+		//lint:allow hot-path-purity appends into caller-owned per-worker scratch; grows once then is reused
 		dst = append(dst, acc)
 	}
 	return dst

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline support: pre-existing findings are recorded in a committed
+// JSON file so they are tracked without blocking CI, while any NEW
+// finding (or a stale baseline entry — drift in either direction)
+// fails. Entries are keyed by (file, rule, message) WITH a count but
+// WITHOUT line numbers, so unrelated edits that shift lines do not
+// invalidate the baseline; messages are deterministic by construction
+// (the engine's output is byte-identical across runs).
+
+// DefaultBaselineName is the baseline's conventional filename at the
+// module root.
+const DefaultBaselineName = ".ravenlint-baseline.json"
+
+// BaselineEntry records that `Count` findings with this (file, rule,
+// message) are known and accepted.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Rule  string `json:"rule"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string { return e.File + "\x00" + e.Rule + "\x00" + e.Msg }
+
+// Baseline is a loaded baseline file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// NewBaseline aggregates findings into a canonical baseline, sorted by
+// (file, rule, msg).
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, f := range findings {
+		e := BaselineEntry{File: f.Pos.Filename, Rule: f.Rule, Msg: f.Msg}
+		k := e.key()
+		if cur, ok := counts[k]; ok {
+			cur.Count++
+			continue
+		}
+		e.Count = 1
+		counts[k] = &e
+		order = append(order, k)
+	}
+	b := &Baseline{}
+	for _, k := range order {
+		b.Entries = append(b.Entries, *counts[k])
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	return b
+}
+
+// LoadBaseline reads and parses a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// Write serializes the baseline canonically (two-space indent,
+// trailing newline) so regeneration is byte-stable and diffs cleanly.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply partitions findings against the baseline: for each key the
+// first Count matching findings are absorbed; the rest are returned as
+// new. Baseline entries matched by fewer findings than their Count are
+// returned as drift (the recorded debt no longer exists and the
+// baseline must be regenerated to stay honest).
+func (b *Baseline) Apply(findings []Finding) (news []Finding, drift []BaselineEntry) {
+	remaining := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		remaining[e.key()] += e.Count
+	}
+	for _, f := range findings {
+		k := BaselineEntry{File: f.Pos.Filename, Rule: f.Rule, Msg: f.Msg}.key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		news = append(news, f)
+	}
+	for _, e := range b.Entries {
+		if left := remaining[e.key()]; left > 0 {
+			d := e
+			d.Count = left
+			drift = append(drift, d)
+			remaining[e.key()] = 0
+		}
+	}
+	return news, drift
+}
+
+// ---- machine-readable report (-json) ----
+
+// JSONFinding is one finding in the machine-readable report.
+type JSONFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// JSONReport is the full -json output: findings after baseline
+// application, baseline drift, and summary counts. It contains no
+// timestamps or absolute paths, so consecutive runs over the same tree
+// are byte-identical.
+type JSONReport struct {
+	Findings []JSONFinding   `json:"findings"`
+	Drift    []BaselineEntry `json:"drift,omitempty"`
+	Baseline int             `json:"baselined"`
+	Total    int             `json:"total"`
+}
+
+// NewJSONReport assembles the report from the post-baseline findings,
+// the drift set, and the count of baseline-absorbed findings.
+func NewJSONReport(news []Finding, drift []BaselineEntry, baselined int) *JSONReport {
+	r := &JSONReport{
+		Findings: []JSONFinding{}, // render as [] rather than null
+		Drift:    drift,
+		Baseline: baselined,
+	}
+	for _, f := range news {
+		r.Findings = append(r.Findings, JSONFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Rule: f.Rule, Msg: f.Msg,
+		})
+	}
+	r.Total = len(r.Findings)
+	return r
+}
+
+// Marshal renders the report canonically with a trailing newline.
+func (r *JSONReport) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -37,11 +37,17 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
 }
 
-// Rule is one named invariant check run over a type-checked package.
+// Rule is one named invariant check. Intra-procedural rules implement
+// Check and run once per package; interprocedural rules implement
+// CheckGraph and run once over the module call graph. Explain holds
+// the long-form documentation served by `ravenlint -explain <id>`
+// (falls back to Doc when empty).
 type Rule struct {
-	ID    string
-	Doc   string
-	Check func(p *Package) []Finding
+	ID         string
+	Doc        string
+	Explain    string
+	Check      func(p *Package) []Finding
+	CheckGraph func(g *Graph) []Finding
 }
 
 // DefaultRules returns the full repository rule set.
@@ -60,6 +66,9 @@ func DefaultRules() []Rule {
 		ruleUncheckedError(),
 		ruleCkptAtomicWrite(),
 		ruleShardLocalState(),
+		ruleHotPathPurity(),
+		ruleLockCycle(),
+		ruleDeterminismTaint(),
 	}
 }
 
@@ -75,24 +84,86 @@ func RuleIDs(rules []Rule) []string {
 	return ids
 }
 
-// Run executes rules over pkgs, applies pragma suppression, and
-// returns findings sorted by file, line, column, and rule.
+// Options tunes a Run.
+type Options struct {
+	// StalePragmas reports //lint:allow pragmas that suppressed nothing
+	// as pragma-stale findings. Only meaningful when the package set
+	// covers everything the pragma could apply to (the whole module):
+	// a partial run would call pragmas stale merely because their
+	// package was not selected.
+	StalePragmas bool
+}
+
+// testRuleAllowed lists the rules that apply to _test.go files when
+// tests are loaded (-tests). Test code is exempt from the library
+// invariants, but the concurrency-correctness rules catch real bugs
+// in the stress tests; pragma hygiene applies everywhere.
+var testRuleAllowed = map[string]bool{
+	"go-loop-capture": true,
+	"lock-by-value":   true,
+	pragmaRuleID:      true,
+	pragmaStaleID:     true,
+}
+
+// Run executes rules over pkgs with default options.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	return RunOpts(pkgs, rules, Options{})
+}
+
+// RunOpts executes rules over pkgs, applies pragma suppression, and
+// returns findings sorted by file, line, column, and rule. Graph rules
+// run over a call graph built from the full package set (test files
+// excluded); their findings go through the same pragma suppression.
+func RunOpts(pkgs []*Package, rules []Rule, opts Options) []Finding {
 	known := make(map[string]bool)
+	hasGraphRule := false
 	for _, r := range rules {
 		known[r.ID] = true
+		hasGraphRule = hasGraphRule || r.CheckGraph != nil
 	}
+
+	// Merge pragmas across the whole set first: graph-rule findings can
+	// land in any package, and stale detection needs the global view.
+	pragmas := newPragmaSet()
 	var out []Finding
 	for _, p := range pkgs {
-		pragmas, bad := collectPragmas(p, known)
-		out = append(out, bad...)
+		out = append(out, pragmas.collect(p, known)...)
+	}
+
+	keep := func(f Finding) bool {
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") && !testRuleAllowed[f.Rule] {
+			return false // test files only face the allowlisted rules
+		}
+		return !pragmas.suppresses(f)
+	}
+
+	for _, p := range pkgs {
 		for _, r := range rules {
+			if r.Check == nil {
+				continue
+			}
 			for _, f := range r.Check(p) {
-				if !pragmas.suppresses(f) {
+				if keep(f) {
 					out = append(out, f)
 				}
 			}
 		}
+	}
+	if hasGraphRule {
+		g := BuildGraph(pkgs)
+		for _, r := range rules {
+			if r.CheckGraph == nil {
+				continue
+			}
+			for _, f := range r.CheckGraph(g) {
+				if keep(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	if opts.StalePragmas {
+		out = append(out, pragmas.stale()...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -59,15 +59,30 @@ func FindModuleRoot(dir string) (string, error) {
 	}
 }
 
-// LoadModule parses and type-checks every package of the module rooted
-// at root. Only non-test files are loaded: the rules target library
-// code, and test files are exempt from every invariant anyway.
+// LoadOptions tunes module loading.
+type LoadOptions struct {
+	// Tests also loads _test.go files: in-package test files join their
+	// package (so they type-check against unexported declarations), and
+	// external "_test"-suffixed test packages become separate packages
+	// ordered after the package they test. Rules identify test files by
+	// their "_test.go" filename suffix; the call graph always excludes
+	// them.
+	Tests bool
+}
+
+// LoadModule parses and type-checks every non-test package of the
+// module rooted at root; see LoadModuleOpts for loading tests too.
 //
 // Module-internal imports are resolved against the packages loaded
 // here (in dependency order); standard-library imports are
 // type-checked from source via go/importer, so the loader works
 // without compiled export data and without any third-party loader.
 func LoadModule(root string) (*Module, error) {
+	return LoadModuleOpts(root, LoadOptions{})
+}
+
+// LoadModuleOpts is LoadModule with options.
+func LoadModuleOpts(root string, opts LoadOptions) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -95,11 +110,11 @@ func LoadModule(root string) (*Module, error) {
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		p, err := mod.parseDir(path)
+		ps, err := mod.parseDir(path, opts.Tests)
 		if err != nil {
 			return err
 		}
-		if p != nil {
+		for _, p := range ps {
 			byPath[p.ImportPath] = p
 		}
 		return nil
@@ -124,9 +139,11 @@ func LoadModule(root string) (*Module, error) {
 	return mod, nil
 }
 
-// parseDir loads the single package in dir, or nil if it holds no
-// non-test Go files.
-func (m *Module) parseDir(dir string) (*Package, error) {
+// parseDir loads the package(s) in dir: the regular package (with its
+// in-package test files when tests is set) and, when tests is set, a
+// separate package for external "_test"-suffixed test files. Returns
+// nil when dir holds no loadable Go files.
+func (m *Module) parseDir(dir string, tests bool) ([]*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -139,20 +156,34 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 	if rel == "." {
 		rel = ""
 	}
-	p := &Package{RelDir: rel, ModuleRoot: m.Root, Fset: m.Fset}
-	if rel == "" {
-		p.ImportPath = m.Path
-	} else {
-		p.ImportPath = m.Path + "/" + rel
+	importPath := m.Path
+	if rel != "" {
+		importPath = m.Path + "/" + rel
 	}
+	p := &Package{RelDir: rel, ModuleRoot: m.Root, Fset: m.Fset, ImportPath: importPath}
+	var xt *Package // external test package ("package foo_test")
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !tests {
 			continue
 		}
 		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %v", err)
+		}
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			if xt == nil {
+				xt = &Package{
+					RelDir: rel, ModuleRoot: m.Root, Fset: m.Fset,
+					ImportPath: importPath + "_test", Name: f.Name.Name,
+				}
+			}
+			xt.Files = append(xt.Files, f)
+			continue
 		}
 		if p.Name == "" {
 			p.Name = f.Name.Name
@@ -161,10 +192,14 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 		}
 		p.Files = append(p.Files, f)
 	}
-	if len(p.Files) == 0 {
-		return nil, nil
+	var out []*Package
+	if len(p.Files) > 0 {
+		out = append(out, p)
 	}
-	return p, nil
+	if xt != nil {
+		out = append(out, xt)
+	}
+	return out, nil
 }
 
 // imports returns the import paths of all files in p.

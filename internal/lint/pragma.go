@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -8,27 +9,70 @@ import (
 // suppression pragmas are reported.
 const pragmaRuleID = "pragma-syntax"
 
+// pragmaStaleID is the pseudo-rule under which pragmas that suppress
+// nothing are reported (Options.StalePragmas): a stale pragma documents
+// an invariant exception that no longer exists, and worse, would
+// silently mask a future regression at that line.
+const pragmaStaleID = "pragma-stale"
+
 const pragmaPrefix = "lint:allow"
 
-// pragmaSet records, per module-relative file and line, which rule IDs
-// are suppressed there.
-type pragmaSet map[string]map[int]map[string]bool
+// pragma is one recorded //lint:allow site.
+type pragma struct {
+	file string // module-relative
+	line int
+	rule string
+	pkg  *Package
+	pos  token.Pos
+	used bool
+}
+
+// pragmaSet indexes pragmas by (file, line, rule) for suppression and
+// keeps them in collection order for deterministic stale reporting.
+type pragmaSet struct {
+	byLoc map[string]map[int]map[string]*pragma
+	list  []*pragma
+}
+
+func newPragmaSet() *pragmaSet {
+	return &pragmaSet{byLoc: make(map[string]map[int]map[string]*pragma)}
+}
 
 // suppresses reports whether f is covered by a pragma on its own line
-// or the line directly above.
-func (ps pragmaSet) suppresses(f Finding) bool {
-	lines, ok := ps[f.Pos.Filename]
+// or the line directly above, marking the pragma used.
+func (ps *pragmaSet) suppresses(f Finding) bool {
+	lines, ok := ps.byLoc[f.Pos.Filename]
 	if !ok {
 		return false
 	}
-	return lines[f.Pos.Line][f.Rule] || lines[f.Pos.Line-1][f.Rule]
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if pr := lines[line][f.Rule]; pr != nil {
+			pr.used = true
+			return true
+		}
+	}
+	return false
 }
 
-// collectPragmas scans all comments of p for //lint:allow pragmas.
-// A pragma must name a known rule and give a reason; violations are
-// returned as pragma-syntax findings so suppressions stay documented.
-func collectPragmas(p *Package, known map[string]bool) (pragmaSet, []Finding) {
-	ps := make(pragmaSet)
+// stale returns one pragma-stale finding per pragma that never
+// suppressed anything, in collection order (Run's final sort orders
+// them by position).
+func (ps *pragmaSet) stale() []Finding {
+	var out []Finding
+	for _, pr := range ps.list {
+		if !pr.used {
+			out = append(out, pr.pkg.finding(pragmaStaleID, pr.pos,
+				"pragma suppresses no %s finding; remove it or fix the reason it was added", pr.rule))
+		}
+	}
+	return out
+}
+
+// collect scans all comments of p for //lint:allow pragmas, recording
+// well-formed ones and returning pragma-syntax findings for the rest.
+// A pragma must name a known rule and give a reason, so every
+// suppression documents why the invariant does not apply.
+func (ps *pragmaSet) collect(p *Package, known map[string]bool) []Finding {
 	var bad []Finding
 	for _, f := range p.Files {
 		rel := p.relFile(f)
@@ -54,16 +98,18 @@ func collectPragmas(p *Package, known map[string]bool) (pragmaSet, []Finding) {
 					bad = append(bad, p.finding(pragmaRuleID, c.Slash,
 						"pragma for %q is missing its reason", fields[0]))
 				default:
-					if ps[rel] == nil {
-						ps[rel] = make(map[int]map[string]bool)
+					pr := &pragma{file: rel, line: line, rule: fields[0], pkg: p, pos: c.Slash}
+					if ps.byLoc[rel] == nil {
+						ps.byLoc[rel] = make(map[int]map[string]*pragma)
 					}
-					if ps[rel][line] == nil {
-						ps[rel][line] = make(map[string]bool)
+					if ps.byLoc[rel][line] == nil {
+						ps.byLoc[rel][line] = make(map[string]*pragma)
 					}
-					ps[rel][line][fields[0]] = true
+					ps.byLoc[rel][line][fields[0]] = pr
+					ps.list = append(ps.list, pr)
 				}
 			}
 		}
 	}
-	return ps, bad
+	return bad
 }

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// The interprocedural rules: checks over the module call graph rather
+// than over single functions. They run once per Graph (built from the
+// whole selected package set) instead of once per package.
+
+// hotPathEntries are the built-in roots of the eviction hot path: the
+// functions whose transitive closure must stay allocation-, map-range-,
+// clock-, and I/O-free so the <50µs p99 decision budget (ROADMAP) holds.
+// Additional roots can be declared in source with a
+// "//lint:hotpath <reason>" doc comment on the function.
+var hotPathEntries = []string{
+	"internal/core.(*Raven).Victim",
+	"internal/nn.(*Net).PredictWith",
+	"internal/nn.(*Net).StepEmbed",
+	"internal/cache.(*Cache).evict",
+}
+
+func ruleHotPathPurity() Rule {
+	return Rule{
+		ID:  "hot-path-purity",
+		Doc: "nothing reachable from the eviction entry points may allocate, range over a map, read the clock, or do I/O",
+		Explain: `The eviction decision has a hard latency budget (ROADMAP: <50µs p99),
+and TestEvictionPathAllocFree asserts the serial path runs with zero
+allocations — but only for the one configuration the test happens to
+run. hot-path-purity generalizes that test statically: it computes the
+transitive call closure of the eviction entry points
+
+    internal/core.(*Raven).Victim      (victim selection)
+    internal/nn.(*Net).PredictWith     (inference kernel)
+    internal/nn.(*Net).StepEmbed       (embedding kernel)
+    internal/cache.(*Cache).evict      (the lock-held eviction section)
+
+plus any function carrying a "//lint:hotpath <reason>" doc-comment
+directive, and reports every effect inside that closure: heap
+allocation (make/new/append, &T{...}, slice/map literals, string
+concatenation or conversion, closure creation, go statements, known
+allocating stdlib calls), map iteration (nondeterministic order AND a
+hidden hash walk), wall-clock reads, and I/O. Interface calls fan out
+to every in-module implementer; calls through function values (stored
+observers, ParallelFor tasks) fan out to everything ever assigned to
+that variable, so the closure over-approximates: a finding means "this
+effect is statically reachable from an entry", not "it executes on
+every eviction". Amortized warm-up allocations (lazy scratch growth,
+shadow-model rebuilds) are accepted with a pragma naming the
+amortization argument; measurement-path effects live in the baseline.
+One finding is reported per function and effect kind, at the first
+effect site, with the call chain from the entry point.`,
+		CheckGraph: checkHotPathPurity,
+	}
+}
+
+func checkHotPathPurity(g *Graph) []Finding {
+	var entries []*FuncNode
+	seenEntry := make(map[*FuncNode]bool)
+	for _, name := range hotPathEntries {
+		if n := g.NodeByName(name); n != nil && !seenEntry[n] {
+			seenEntry[n] = true
+			entries = append(entries, n)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.HotEntry && !seenEntry[n] {
+			seenEntry[n] = true
+			entries = append(entries, n)
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+
+	// Multi-source BFS in deterministic order; parent edges reconstruct
+	// the shortest chain from the nearest entry.
+	parent := make(map[*FuncNode]*FuncNode)
+	visited := make(map[*FuncNode]bool)
+	queue := make([]*FuncNode, 0, len(entries))
+	for _, e := range entries {
+		visited[e] = true
+		queue = append(queue, e)
+	}
+	var order []*FuncNode
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.Calls {
+			if !visited[e.To] {
+				visited[e.To] = true
+				parent[e.To] = n
+				queue = append(queue, e.To)
+			}
+		}
+	}
+
+	var out []Finding
+	for _, n := range order {
+		seenKind := make(map[effectKind]bool)
+		for _, eff := range n.Effects {
+			if seenKind[eff.Kind] {
+				continue
+			}
+			seenKind[eff.Kind] = true
+			out = append(out, n.Pkg.finding("hot-path-purity", eff.Pos,
+				"%s %s (%s) on the eviction hot path, reached via %s",
+				n.Name, eff.Kind, eff.What, chainString(n, parent)))
+		}
+	}
+	return out
+}
+
+// chainString renders the BFS chain from the entry point down to n.
+func chainString(n *FuncNode, parent map[*FuncNode]*FuncNode) string {
+	var rev []string
+	for m := n; m != nil; m = parent[m] {
+		rev = append(rev, m.Name)
+	}
+	if len(rev) == 1 {
+		return "entry point " + rev[0]
+	}
+	var b strings.Builder
+	for i := len(rev) - 1; i >= 0; i-- {
+		if b.Len() > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(rev[i])
+	}
+	return b.String()
+}
+
+func ruleLockCycle() Rule {
+	return Rule{
+		ID:  "lock-cycle",
+		Doc: "no call path may re-acquire a mutex that is already held (self-deadlock)",
+		Explain: `sync.Mutex and sync.RWMutex are not reentrant: a goroutine that
+re-acquires a lock it already holds deadlocks itself. The sharded cache
+engine makes this easy to do by accident — eviction observers run
+UNDER the shard lock, so an observer that calls back into any Sharded
+method (Keys, StatsSnapshot, Handle, ...) re-locks the same shard
+mutex. SetShardEvictionObserver's documentation warns about exactly
+this; lock-cycle machine-checks it.
+
+For every lock acquisition the rule computes the held region (from the
+Lock call to its matching Unlock, or to the end of the function when
+the Unlock is deferred) and searches the call graph — through
+interface dispatch and stored function values, so observer callbacks
+are followed — for a path from any call inside that region to a
+function that acquires a lock of the same class. A lock's class is its
+field identity ("pkgpath.Owner.field", e.g. raven/internal/cache.shard.mu)
+or package-level variable; locks held in locals or parameters are
+skipped because their aliasing cannot be resolved statically.
+RLock->RLock paths are not reported (read locks are shared);
+Lock->Lock, Lock->RLock, and RLock->Lock all are, since each blocks
+against a holder. The finding points at the call site inside the held
+region and names the path to the re-acquisition.`,
+		CheckGraph: checkLockCycle,
+	}
+}
+
+// localLockClass reports classes derived from locals or opaque
+// expressions, whose cross-function identity is unknown.
+func localLockClass(class string) bool {
+	return strings.HasPrefix(class, "local@") || strings.HasPrefix(class, "expr@")
+}
+
+// lockConflict reports whether holding `held` blocks against acquiring
+// `acq` on the same lock class.
+func lockConflict(heldRLock, acqRLock bool) bool {
+	return !(heldRLock && acqRLock) // only RLock->RLock is compatible
+}
+
+func checkLockCycle(g *Graph) []Finding {
+	var out []Finding
+	for _, n := range g.Nodes {
+		for _, ls := range n.Locks {
+			if localLockClass(ls.Class) {
+				continue
+			}
+			// Direct re-acquisition inside the same function.
+			for _, other := range n.Locks {
+				if other.Pos > ls.Pos && other.Pos < ls.End &&
+					other.Class == ls.Class && lockConflict(ls.RLock, other.RLock) {
+					out = append(out, n.Pkg.finding("lock-cycle", other.Pos,
+						"%s re-acquires %s while already holding it (self-deadlock)",
+						n.Name, ls.Class))
+				}
+			}
+			// Interprocedural: calls inside the held region.
+			for _, e := range n.Calls {
+				if e.Pos <= ls.Pos || e.Pos >= ls.End {
+					continue
+				}
+				if path := g.lockPath(e.To, ls.Class, ls.RLock); path != nil {
+					out = append(out, n.Pkg.finding("lock-cycle", e.Pos,
+						"%s calls %s while holding %s; the callee path %s re-acquires it (self-deadlock)",
+						n.Name, e.To.Name, ls.Class, strings.Join(path, " -> ")))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockPath searches (BFS, deterministic order) from start for a
+// function acquiring a conflicting lock of class cls, returning the
+// call-chain names start..locker, or nil.
+func (g *Graph) lockPath(start *FuncNode, cls string, heldRLock bool) []string {
+	type item struct {
+		n    *FuncNode
+		prev *item
+	}
+	visited := map[*FuncNode]bool{start: true}
+	queue := []*item{{n: start}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, ls := range it.n.Locks {
+			if ls.Class == cls && lockConflict(heldRLock, ls.RLock) {
+				var rev []string
+				for p := it; p != nil; p = p.prev {
+					rev = append(rev, p.n.Name)
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+		}
+		for _, e := range it.n.Calls {
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, &item{n: e.To, prev: it})
+			}
+		}
+	}
+	return nil
+}
+
+func ruleDeterminismTaint() Rule {
+	return Rule{
+		ID:  "determinism-taint",
+		Doc: "wall clock, global rand, and map-iteration order may not flow into policy decision values",
+		Explain: `Replayed traces must produce bit-identical cache decisions (DESIGN.md
+"Parallel execution & determinism"); the per-line rand-global,
+wall-clock, and map-iter-order rules catch direct uses, but a
+timestamp can launder through three helper calls before it reaches a
+priority score. determinism-taint tracks the three nondeterminism
+sources interprocedurally: per-function return-taint summaries are
+iterated over the call graph to a fixpoint, with flow-insensitive
+propagation through local variables, control-dependence taint
+(a value assigned under a clock-tainted branch is clock-tainted), and
+value flow through stdlib calls and conversions.
+
+Decision sinks are the policy decision functions, identified by shape:
+methods named Victim returning (candidate, bool) and methods named
+ShouldAdmit returning bool. A finding means a nondeterministic source
+can reach the decision's return value; it names the source site. Two
+deliberate exclusions keep instrumentation clean: arguments do not
+flow through in-module calls (so passing a latency sample into a
+metrics sink does not taint the caller — the sim's timedPolicy wrapper
+measures Victim latency without tainting the decision), and methods on
+seeded *rand.Rand generators are not sources (seeded RNGs are the
+repo's sanctioned randomness; only package-level math/rand functions
+taint).`,
+		CheckGraph: checkDeterminismTaint,
+	}
+}
+
+// decisionSink reports whether n is a policy decision function by
+// shape: Victim() (T, bool) methods or ShouldAdmit(...) bool.
+func decisionSink(n *FuncNode) bool {
+	if n.Decl == nil || n.Obj == nil || n.Decl.Recv == nil {
+		return false
+	}
+	sig, ok := n.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	isBool := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Bool
+	}
+	switch n.Obj.Name() {
+	case "Victim":
+		return res.Len() == 2 && isBool(res.At(1).Type())
+	case "ShouldAdmit":
+		return res.Len() == 1 && isBool(res.At(0).Type())
+	}
+	return false
+}
+
+func checkDeterminismTaint(g *Graph) []Finding {
+	var out []Finding
+	for _, n := range g.Nodes {
+		if !decisionSink(n) || n.retTaint == 0 {
+			continue
+		}
+		for _, bit := range []taintMask{taintClock, taintRand, taintMapOrder} {
+			if n.retTaint&bit == 0 {
+				continue
+			}
+			o := n.origin(bit)
+			src := "an unresolved source"
+			if o.pkg != nil {
+				pos := o.pkg.relPosition(o.pos)
+				src = fmt.Sprintf("%s at %s:%d", o.via, pos.Filename, pos.Line)
+			}
+			out = append(out, n.Pkg.finding("determinism-taint", n.Decl.Pos(),
+				"decision value returned by %s is influenced by %s (source: %s)",
+				n.Name, bit.describe(), src))
+		}
+	}
+	return out
+}

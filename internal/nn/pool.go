@@ -86,6 +86,7 @@ func (p *Pool) forkJoin(n, w int, fn func(worker, i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	for k := 1; k < w; k++ {
+		//lint:allow hot-path-purity the documented multi-worker exception: Workers=1 is the asserted alloc-free path
 		go func(k, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {

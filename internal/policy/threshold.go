@@ -7,17 +7,18 @@ import "raven/internal/cache"
 // of the ThLRU/ThS4LRU baselines from Facebook's photo cache study).
 type SizeThreshold struct {
 	cache.Policy
-	Max int64
+	Max  int64
+	name string // precomputed: Name() is called on the eviction path
 }
 
 // WithSizeThreshold wraps inner; max <= 0 falls back to admitting
 // everything.
 func WithSizeThreshold(inner cache.Policy, max int64) *SizeThreshold {
-	return &SizeThreshold{Policy: inner, Max: max}
+	return &SizeThreshold{Policy: inner, Max: max, name: "th" + inner.Name()}
 }
 
 // Name implements cache.Policy.
-func (t *SizeThreshold) Name() string { return "th" + t.Policy.Name() }
+func (t *SizeThreshold) Name() string { return t.name }
 
 // ShouldAdmit implements cache.Admitter.
 func (t *SizeThreshold) ShouldAdmit(req cache.Request) bool {

@@ -99,7 +99,7 @@ func TestRavenFaultedRunIsDeterministic(t *testing.T) {
 	base, baseR := run(1)
 	for _, w := range []int{2, 4} {
 		res, r := run(w)
-		if res.OHR != base.OHR || res.BHR != base.BHR { //lint:allow float-equal determinism contract is bit-exact
+		if res.OHR != base.OHR || res.BHR != base.BHR { // bit-exact by the determinism contract
 			t.Errorf("workers=%d OHR/BHR %.6f/%.6f differ from serial %.6f/%.6f",
 				w, res.OHR, res.BHR, base.OHR, base.BHR)
 		}

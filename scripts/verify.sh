@@ -10,7 +10,11 @@
 #                         100 clients of mixed GET/SET against an
 #                         8-shard server, reconciling METRICS totals)
 #   5. ravenlint         (repo-specific determinism / concurrency /
-#                         hygiene invariants; see internal/lint)
+#                         hygiene invariants plus the interprocedural
+#                         hot-path / lock / taint rules; runs four ways:
+#                         plain, -tests, a double-run -json byte-equality
+#                         check, and a baseline round-trip that fails if
+#                         .ravenlint-baseline.json is stale)
 #   6. benchmark smoke   (benchmarks still compile and run)
 #   7. checkpoint smoke  (a corrupted newest checkpoint generation is
 #                         skipped on resume, end to end through raven-sim)
@@ -51,6 +55,31 @@ fi
 
 echo "==> go run ./cmd/ravenlint ./..."
 go run ./cmd/ravenlint ./...
+
+echo "==> ravenlint -tests (test files: concurrency rules + stale pragmas)"
+go run ./cmd/ravenlint -tests ./...
+
+echo "==> ravenlint determinism (double run, byte-identical -json)"
+LINT_DIR="$(mktemp -d)"
+go run ./cmd/ravenlint -json ./... >"${LINT_DIR}/run1.json"
+go run ./cmd/ravenlint -json ./... >"${LINT_DIR}/run2.json"
+if ! cmp -s "${LINT_DIR}/run1.json" "${LINT_DIR}/run2.json"; then
+    echo "ravenlint FAILED: two identical runs produced different -json output"
+    diff "${LINT_DIR}/run1.json" "${LINT_DIR}/run2.json" || true
+    rm -rf "${LINT_DIR}"
+    exit 1
+fi
+
+echo "==> ravenlint baseline round-trip (-write-baseline matches committed)"
+go run ./cmd/ravenlint -write-baseline "${LINT_DIR}/baseline.json" ./... >/dev/null
+if ! cmp -s "${LINT_DIR}/baseline.json" .ravenlint-baseline.json; then
+    echo "ravenlint FAILED: .ravenlint-baseline.json is out of date"
+    echo "regenerate with: go run ./cmd/ravenlint -write-baseline .ravenlint-baseline.json ./..."
+    diff "${LINT_DIR}/baseline.json" .ravenlint-baseline.json || true
+    rm -rf "${LINT_DIR}"
+    exit 1
+fi
+rm -rf "${LINT_DIR}"
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./internal/nn/... ./internal/core/... >/dev/null
