@@ -46,6 +46,13 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 1, "save a checkpoint generation every N completed trainings")
 		seed      = flag.Int64("seed", 42, "random seed")
 		listPols  = flag.Bool("list", false, "list available policies and exit")
+
+		// Research defaults: the simulator keeps the fast path and the
+		// SLO clock off so replays stay bit-identical run to run; the
+		// serving binary (ravencached) defaults them on.
+		scoreCache  = flag.Bool("score-cache", false, "Raven cached-score eviction fast path")
+		inference32 = flag.Bool("inference32", false, "Raven float32 inference kernels on the fast path (training stays float64)")
+		budget      = flag.Duration("decision-budget", 0, "Raven per-eviction-decision deadline; overruns fall back to LRU (0 = off)")
 	)
 	flag.Parse()
 
@@ -93,6 +100,9 @@ func main() {
 			Workers:         *workers,
 			CheckpointDir:   *ckptDir,
 			CheckpointEvery: *ckptEvery,
+			ScoreCache:      *scoreCache,
+			Inference32:     *inference32,
+			DecisionBudget:  *budget,
 		}
 		factory, err := policy.Lookup(name)
 		if err != nil {

@@ -13,6 +13,12 @@
 // Usage:
 //
 //	ravenbench [-out DIR] [-workers 1,2,4,8] [-quick]
+//	ravenbench -compare OLD.json NEW.json
+//
+// The -compare mode prints per-section deltas between two reports and
+// exits non-zero when the eviction-decision sections regressed by more
+// than 10%, so the perf trajectory is enforceable in CI, not just
+// recorded.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +38,7 @@ import (
 	"raven/internal/cache"
 	"raven/internal/core"
 	"raven/internal/nn"
+	"raven/internal/obs"
 	"raven/internal/policy"
 	"raven/internal/server"
 	"raven/internal/sim"
@@ -70,16 +78,26 @@ type shardResult struct {
 	Speedup   float64 `json:"speedup_vs_one_shard"`
 }
 
+type decisionP99Result struct {
+	Mode               string  `json:"mode"` // "f64" or "f32" inference kernels
+	Workers            int     `json:"workers"`
+	Decisions          int     `json:"decisions"`
+	P50Ns              float64 `json:"p50_ns"`
+	P99Ns              float64 `json:"p99_ns"`
+	ScoreCacheHitRatio float64 `json:"score_cache_hit_ratio"`
+}
+
 type report struct {
-	Date       string         `json:"date"`
-	GoVersion  string         `json:"go_version"`
-	NumCPU     int            `json:"num_cpu"`
-	GoMaxProcs int            `json:"gomaxprocs"`
-	Kernels    []kernelResult `json:"kernels"`
-	TrainEpoch []workerResult `json:"train_epoch"`
-	Evict      []workerResult `json:"evict_decision"`
-	EndToEnd   []e2eResult    `json:"end_to_end_sim"`
-	ShardSweep []shardResult  `json:"shard_sweep_server"`
+	Date       string              `json:"date"`
+	GoVersion  string              `json:"go_version"`
+	NumCPU     int                 `json:"num_cpu"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Kernels    []kernelResult      `json:"kernels"`
+	TrainEpoch []workerResult      `json:"train_epoch"`
+	Evict      []workerResult      `json:"evict_decision"`
+	EvictP99   []decisionP99Result `json:"evict_decision_p99,omitempty"`
+	EndToEnd   []e2eResult         `json:"end_to_end_sim"`
+	ShardSweep []shardResult       `json:"shard_sweep_server"`
 }
 
 // timeOp measures ns/op of fn, running it repeatedly until at least
@@ -274,6 +292,85 @@ func benchEvict(workers []int) []workerResult {
 	return out
 }
 
+// benchEvictP99 measures the tail of individual eviction decisions on
+// the ScoreCache fast path under realistic dirtying: after training,
+// the trace is replayed (time-shifted to stay monotone) so each timed
+// Victim call sees the candidate-staleness pattern of live traffic
+// rather than an artificially all-clean or all-dirty cache. Every
+// decision is timed individually — the p99 is the number the <50µs
+// per-decision SLO (Config.DecisionBudget) is set against.
+func benchEvictP99(f32 bool, decisions int) decisionP99Result {
+	tr := trace.Synthetic(trace.SynthConfig{
+		Objects: 200, Requests: 30000, Interarrival: trace.Poisson, Seed: 5,
+	})
+	ro := &obs.RavenObs{}
+	r := core.New(core.Config{
+		TrainWindow:     tr.Duration() / 4,
+		MaxTrainObjects: 300,
+		Net:             nn.Config{Hidden: 8, MLPHidden: 12, K: 4},
+		Train:           nn.TrainConfig{MaxEpochs: 5, Patience: 2},
+		Workers:         1,
+		Seed:            7,
+		ScoreCache:      true,
+		Inference32:     f32,
+		Obs:             ro,
+	})
+	c := cache.New(40, r)
+	for _, req := range tr.Reqs {
+		c.Handle(req)
+	}
+	if !r.Trained() {
+		fmt.Fprintln(os.Stderr, "ravenbench: policy never trained; p99 numbers would be LRU fallback")
+		os.Exit(1)
+	}
+	r.Victim() // warm: grow scratch, freeze weights, populate the score cache
+	hits0, res0 := ro.ScoreCacheHits.Load(), ro.ScoreRescores.Load()
+	samples := make([]float64, 0, decisions)
+	span := tr.Duration() + 1
+	for i := 0; len(samples) < decisions; i++ {
+		req := tr.Reqs[i%len(tr.Reqs)]
+		req.Time += span * int64(1+i/len(tr.Reqs))
+		c.Handle(req)
+		start := time.Now()
+		if _, ok := r.Victim(); !ok {
+			fmt.Fprintln(os.Stderr, "ravenbench: no victim from a full cache")
+			os.Exit(1)
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds()))
+	}
+	hits := ro.ScoreCacheHits.Load() - hits0
+	rescores := ro.ScoreRescores.Load() - res0
+	ratio := 0.0
+	if hits+rescores > 0 {
+		ratio = float64(hits) / float64(hits+rescores)
+	}
+	sort.Float64s(samples)
+	mode := "f64"
+	if f32 {
+		mode = "f32"
+	}
+	return decisionP99Result{
+		Mode:               mode,
+		Workers:            1,
+		Decisions:          len(samples),
+		P50Ns:              percentile(samples, 50),
+		P99Ns:              percentile(samples, 99),
+		ScoreCacheHitRatio: ratio,
+	}
+}
+
+// percentile returns the p-th percentile of sorted samples.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
 func benchEndToEnd(workers []int, requests int) []e2eResult {
 	out := make([]e2eResult, 0, len(workers))
 	for _, w := range workers {
@@ -375,11 +472,139 @@ func benchShards(shardCounts []int, clients, perClient int) []shardResult {
 	return out
 }
 
+// ---- report comparison (-compare OLD.json NEW.json) ----
+
+func loadReport(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// deltaLine formats "old -> new (±pct%)" with an optional REGRESSION
+// marker when the change exceeds tol (for metrics where bigger is
+// worse, i.e. latencies).
+func deltaLine(before, after float64, tol float64, gate bool) (string, bool) {
+	if before <= 0 {
+		return fmt.Sprintf("%12.1f -> %12.1f  (no baseline)", before, after), false
+	}
+	pct := (after - before) / before * 100
+	s := fmt.Sprintf("%12.1f -> %12.1f  (%+6.1f%%)", before, after, pct)
+	if gate && after > before*(1+tol) {
+		return s + "  REGRESSION", true
+	}
+	return s, false
+}
+
+// compareReports prints per-section deltas between two ravenbench
+// reports and returns true when a gated section (the eviction-decision
+// mean and p99 latencies) regressed by more than tol. Sections or
+// entries present in only one report are skipped — older reports
+// predate evict_decision_p99.
+func compareReports(oldRep, newRep *report, tol float64) bool {
+	regressed := false
+	check := func(s string, bad bool) {
+		fmt.Printf("  %s\n", s)
+		if bad {
+			regressed = true
+		}
+	}
+
+	fmt.Println("== kernels (tuned ns/op, informational)")
+	for _, n := range newRep.Kernels {
+		for _, o := range oldRep.Kernels {
+			if o.Name == n.Name {
+				s, _ := deltaLine(o.TunedNs, n.TunedNs, tol, false)
+				fmt.Printf("  %-12s %s\n", n.Name, s)
+			}
+		}
+	}
+	fmt.Println("== train_epoch (ns/op, informational)")
+	for _, n := range newRep.TrainEpoch {
+		for _, o := range oldRep.TrainEpoch {
+			if o.Workers == n.Workers {
+				s, _ := deltaLine(o.NsPerOp, n.NsPerOp, tol, false)
+				fmt.Printf("  workers=%-4d %s\n", n.Workers, s)
+			}
+		}
+	}
+	fmt.Printf("== evict_decision (ns/op, gated at %+.0f%%)\n", tol*100)
+	for _, n := range newRep.Evict {
+		for _, o := range oldRep.Evict {
+			if o.Workers == n.Workers {
+				s, bad := deltaLine(o.NsPerOp, n.NsPerOp, tol, true)
+				check(fmt.Sprintf("workers=%-4d %s", n.Workers, s), bad)
+			}
+		}
+	}
+	fmt.Printf("== evict_decision_p99 (p99 ns, gated at %+.0f%%)\n", tol*100)
+	for _, n := range newRep.EvictP99 {
+		for _, o := range oldRep.EvictP99 {
+			if o.Mode == n.Mode && o.Workers == n.Workers {
+				s, bad := deltaLine(o.P99Ns, n.P99Ns, tol, true)
+				check(fmt.Sprintf("%s/workers=%-2d %s  hit-ratio %.3f -> %.3f",
+					n.Mode, n.Workers, s, o.ScoreCacheHitRatio, n.ScoreCacheHitRatio), bad)
+			}
+		}
+	}
+	fmt.Println("== end_to_end_sim (req/s, informational)")
+	for _, n := range newRep.EndToEnd {
+		for _, o := range oldRep.EndToEnd {
+			if o.Workers == n.Workers {
+				s, _ := deltaLine(o.ReqPerSec, n.ReqPerSec, tol, false)
+				fmt.Printf("  workers=%-4d %s\n", n.Workers, s)
+			}
+		}
+	}
+	fmt.Println("== shard_sweep_server (req/s, informational)")
+	for _, n := range newRep.ShardSweep {
+		for _, o := range oldRep.ShardSweep {
+			if o.Shards == n.Shards {
+				s, _ := deltaLine(o.ReqPerSec, n.ReqPerSec, tol, false)
+				fmt.Printf("  shards=%-4d  %s\n", n.Shards, s)
+			}
+		}
+	}
+	if regressed {
+		fmt.Printf("FAIL: eviction decision latency regressed by more than %.0f%%\n", tol*100)
+	} else {
+		fmt.Println("OK: no gated regressions")
+	}
+	return regressed
+}
+
 func main() {
 	outDir := flag.String("out", ".", "directory for the BENCH_<date>.json report")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts (first is the serial baseline)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast smoke run")
+	compare := flag.Bool("compare", false, "compare two reports: ravenbench -compare OLD.json NEW.json; exits 1 on >10% eviction-latency regression")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: ravenbench -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ravenbench: %v\n", err)
+			os.Exit(2)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ravenbench: %v\n", err)
+			os.Exit(2)
+		}
+		if compareReports(oldRep, newRep, 0.10) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var workers []int
 	for _, f := range strings.Split(*workersFlag, ",") {
@@ -413,6 +638,15 @@ func main() {
 	rep.TrainEpoch = benchTrainEpoch(workers, seqs)
 	fmt.Fprintln(os.Stderr, "==> eviction decision")
 	rep.Evict = benchEvict(workers)
+	fmt.Fprintln(os.Stderr, "==> eviction decision p99 (ScoreCache fast path)")
+	decisions := 2000
+	if *quick {
+		decisions = 300
+	}
+	rep.EvictP99 = []decisionP99Result{
+		benchEvictP99(false, decisions),
+		benchEvictP99(true, decisions),
+	}
 	fmt.Fprintln(os.Stderr, "==> end-to-end simulation")
 	rep.EndToEnd = benchEndToEnd(workers, reqs)
 	fmt.Fprintln(os.Stderr, "==> server shard sweep")

@@ -56,6 +56,10 @@ func run() int {
 		originMS = flag.Int("origindelay", 0, "simulated per-miss origin delay (ms)")
 		seed     = flag.Int64("seed", 42, "random seed")
 
+		scoreCache  = flag.Bool("score-cache", true, "raven: cached-score eviction fast path")
+		inference32 = flag.Bool("inference32", true, "raven: float32 inference kernels on the fast path (training stays float64)")
+		budget      = flag.Duration("decision-budget", 50*time.Microsecond, "raven: per-eviction-decision deadline; overruns fall back to LRU and count toward degradation (0 = off)")
+
 		ckptDir   = flag.String("checkpoint", "", "learning-policy checkpoint directory: resume from the newest valid generation, save after trainings")
 		ckptEvery = flag.Int("checkpoint-every", 1, "save a checkpoint generation every N completed trainings")
 
@@ -80,6 +84,9 @@ func run() int {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Obs:             ravenObs,
+		ScoreCache:      *scoreCache,
+		Inference32:     *inference32,
+		DecisionBudget:  *budget,
 	}, *shards)
 	// Capture each shard's policy as it is built so checkpoint-resume
 	// status can be reported per shard below.

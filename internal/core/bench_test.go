@@ -34,23 +34,30 @@ func trainedRaven(tb testing.TB, workers int) *Raven {
 	return r
 }
 
-// TestEvictionPathAllocFree pins the serial eviction hot path at zero
-// allocations per decision: after one warmup call has grown every
-// scratch buffer and refreshed every resident embedding, Victim must
-// not touch the heap.
+// TestEvictionPathAllocFree pins the eviction hot path at zero
+// allocations per decision for every worker count: after one warmup
+// call has grown every scratch buffer, refreshed every resident
+// embedding, and spawned the pool's parked workers, Victim must not
+// touch the heap. Workers>1 used to leak 2(w-1)+1 allocs per pool
+// dispatch through per-call goroutine closures; the persistent-worker
+// pool (nn/pool.go) eliminates them, and this sweep keeps it that way.
 func TestEvictionPathAllocFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training test skipped in -short mode")
 	}
-	r := trainedRaven(t, 1)
-	r.Victim() // grow scratch, embed all residents
-	avg := testing.AllocsPerRun(200, func() {
-		if _, ok := r.Victim(); !ok {
-			t.Fatal("no victim from a full cache")
-		}
-	})
-	if avg != 0 {
-		t.Errorf("eviction decision allocates %.1f times per op; want 0", avg)
+	for _, w := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			r := trainedRaven(t, w)
+			r.Victim() // grow scratch, embed all residents, spawn workers
+			avg := testing.AllocsPerRun(200, func() {
+				if _, ok := r.Victim(); !ok {
+					t.Fatal("no victim from a full cache")
+				}
+			})
+			if avg != 0 {
+				t.Errorf("Workers=%d: eviction decision allocates %.1f times per op; want 0", w, avg)
+			}
+		})
 	}
 }
 
@@ -63,6 +70,37 @@ func BenchmarkEvictDecision(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r.Victim()
+			}
+		})
+	}
+}
+
+// BenchmarkEvictDecisionFast times the ScoreCache fast path. The
+// warm-cache case (all candidates clean) is the steady state the <50µs
+// p99 SLO targets; the all-dirty case bounds the worst decision after
+// a model swap invalidates every cached score.
+func BenchmarkEvictDecisionFast(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		f32  bool
+	}{{"f64", false}, {"f32", true}} {
+		b.Run(mode.name+"/warm", func(b *testing.B) {
+			h := newFastHarness(func(c *Config) { c.Inference32 = mode.f32 })
+			h.r.Victim() // score + cache every resident
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.r.Victim()
+			}
+		})
+		b.Run(mode.name+"/alldirty", func(b *testing.B) {
+			h := newFastHarness(func(c *Config) { c.Inference32 = mode.f32 })
+			h.r.forceRescore = true
+			h.r.Victim()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.r.Victim()
 			}
 		})
 	}

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"time"
+
 	"raven/internal/nn"
 	"raven/internal/obs"
 )
@@ -89,6 +91,39 @@ type Config struct {
 	// window's is at least this value (0.05–0.15 are sensible). The
 	// first window always trains.
 	DriftThreshold float64
+
+	// ScoreCache enables the cached-score eviction fast path (DESIGN.md
+	// "Inference fast path & SLO"): each resident object's priority
+	// score is cached with a dirty-epoch stamp, Victim() re-embeds and
+	// re-predicts only candidates whose history advanced since their
+	// stamp, and dirty candidates are scored through one fused
+	// batch-predict + shared-RNG Monte Carlo pass. The fast path ranks
+	// candidates by their expected next-arrival time instead of the
+	// joint win-count estimator, so it is a deliberate approximation
+	// (off by default; the servers turn it on).
+	ScoreCache bool
+	// Inference32 routes fast-path predictions through the float32
+	// kernels of a frozen weight copy (nn.Freeze32). Training stays
+	// float64. Only consulted when ScoreCache is on. Off by default so
+	// exact-reproduction runs stay bit-identical to the f64 path.
+	Inference32 bool
+	// DecisionBudget is the per-eviction-decision latency SLO. When
+	// positive, Victim() checks the wall clock at candidate-loop
+	// boundaries; a decision that overruns the budget is abandoned and
+	// served from the LRU fallback list, counted in raven.slo_overruns,
+	// and SLOTripsBeforeDegrade consecutive overruns trip the health
+	// machine exactly like a diverged training. 0 (the default)
+	// disables the deadline — and keeps the wall clock off the
+	// decision path entirely, which deterministic replay tests rely on.
+	DecisionBudget time.Duration
+	// SLOTripsBeforeDegrade is how many consecutive DecisionBudget
+	// overruns count as one guard trip (default 4). Ignored when
+	// DecisionBudget is 0.
+	SLOTripsBeforeDegrade int
+	// EvictFault, when non-nil, runs once per re-scored candidate on
+	// the eviction fast path. Test hook for injecting latency into the
+	// decision loop (SLO overrun drills), mirroring Train.Faults.
+	EvictFault func()
 
 	// Workers is the goroutine fan-out for training minibatches and
 	// per-candidate eviction inference (0 or 1 = serial). Results are
@@ -178,6 +213,9 @@ func (c *Config) defaults() {
 	}
 	if c.FallbackAfterTrips == 0 {
 		c.FallbackAfterTrips = 2
+	}
+	if c.SLOTripsBeforeDegrade == 0 {
+		c.SLOTripsBeforeDegrade = 4
 	}
 	if c.Checkpoint.Every == 0 {
 		c.Checkpoint.Every = 1

@@ -94,6 +94,29 @@ func (r *Raven) trainSucceeded() {
 	r.setHealth(Healthy, "training completed")
 }
 
+// sloOverrun records one eviction decision abandoned past its
+// DecisionBudget deadline. The decision itself is served from the LRU
+// fallback list by the caller; here the overrun is counted and, after
+// Config.SLOTripsBeforeDegrade consecutive overruns, converted into a
+// guard trip — the same Healthy→Degraded→Fallback ladder a diverged
+// training climbs, so a model that is too slow is treated exactly
+// like a model that is wrong. Recovery is the usual one: the next
+// completed training resets the machine to Healthy.
+func (r *Raven) sloOverrun() {
+	if r.obs != nil {
+		r.obs.SLOOverruns.Inc()
+	}
+	r.sloStreak++
+	if r.sloStreak >= r.cfg.SLOTripsBeforeDegrade {
+		r.sloStreak = 0
+		r.guardTripped("eviction decision SLO overrun")
+	}
+}
+
+// sloMet resets the consecutive-overrun streak after a decision that
+// finished within budget — only unbroken runs of overruns degrade.
+func (r *Raven) sloMet() { r.sloStreak = 0 }
+
 // scoresInsane enters Fallback immediately after a non-finite
 // priority score: no further model output can be trusted until a
 // retrain succeeds.

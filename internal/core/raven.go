@@ -3,6 +3,7 @@ package core
 import (
 	"container/list"
 	"math"
+	"time"
 
 	"raven/internal/cache"
 	"raven/internal/nn"
@@ -21,6 +22,16 @@ type objHist struct {
 	emb        []float64 // history embedding h (§4.2.1)
 	embVersion int       // nn.Net.Version the embedding was computed with; -1 = stale
 	elem       *list.Element
+
+	// Score-cache state (fastpath.go). epoch increments every time the
+	// object's history advances; a cached score is valid while both its
+	// epoch stamp and its model-version stamp still match, so a score
+	// survives across decisions exactly until the object is touched or
+	// the model is swapped.
+	epoch    int64
+	score    float64 // cached priority: predicted next-arrival time (ticks)
+	scoreEp  int64   // epoch the score was computed at
+	scoreVer int     // nn.Net.Version the score was computed with; -1 = never
 }
 
 // Raven is the learning cache policy. Create it with New; it
@@ -52,11 +63,27 @@ type Raven struct {
 	candTask func(w, j int)
 	mc       *mcScratch
 
+	// Fast-path inference state (fastpath.go): the frozen f32 weight
+	// copy and its scratch (Inference32), the serial f64 batch scratch,
+	// and the per-decision SLO overrun streak.
+	frozen    *nn.Frozen32
+	scr32     *nn.Scratch32
+	pred      *nn.PredictScratch
+	sloStreak int
+	// forceRescore treats every candidate as dirty — test hook that
+	// turns the fast path into its own uncached reference.
+	forceRescore bool
+
 	// Scratch buffers reused across evictions.
-	scrIdx  []int
-	scrMix  []nn.Mixture
-	scrKeys []cache.Key
-	scrSize []int64
+	scrIdx   []int
+	scrMix   []nn.Mixture
+	scrKeys  []cache.Key
+	scrSize  []int64
+	scrScore []float64
+	scrObj   []*objHist
+	scrDirty []int
+	scrIn    []nn.PredictInput
+	scrCum   []float64
 
 	// Model-lifecycle state (health.go): the health state machine,
 	// the consecutive-guard-trip counter that drives it, lifecycle
@@ -193,14 +220,15 @@ func (r *Raven) Name() string {
 
 // MetadataBytesPerObject implements cache.Footprinter: the per-cached-
 // object state Raven keeps for inference — the recurrent state
-// (float64s), last-access time, size, and the interarrival ring used
-// to re-embed after model swaps (§6.1.1).
+// (float64s), last-access time, size, the interarrival ring used
+// to re-embed after model swaps (§6.1.1), and the score-cache stamps
+// (epoch, cached score, epoch/version stamps).
 func (r *Raven) MetadataBytesPerObject() int64 {
 	state := int64(r.cfg.Net.Hidden)
 	if r.net != nil {
 		state = int64(r.net.StateSize())
 	}
-	return 8*state + 8 + 8 + 8*int64(r.cfg.HistoryLen)
+	return 8*state + 8 + 8 + 8*int64(r.cfg.HistoryLen) + 4*8
 }
 
 // Trained reports whether at least one model has been fit.
@@ -223,10 +251,11 @@ func (r *Raven) observe(req cache.Request) {
 
 	h, ok := r.hists[req.Key]
 	if !ok {
-		h = &objHist{lastSeen: req.Time, size: req.Size, embVersion: -1}
+		h = &objHist{lastSeen: req.Time, size: req.Size, embVersion: -1, scoreVer: -1}
 		r.hists[req.Key] = h
 		r.maybeGC()
 	} else {
+		h.epoch++ // history advances below: any cached score is now stale
 		tau := float64(req.Time - h.lastSeen)
 		if tau < 1 {
 			tau = 1
@@ -292,6 +321,7 @@ func (r *Raven) train() {
 		r.net = nil
 		r.infNets = nil
 		r.infPred = nil
+		r.invalidateFastPath()
 		if r.obs != nil {
 			r.obs.Rollbacks.Inc()
 		}
@@ -311,6 +341,7 @@ func (r *Raven) train() {
 		// them lazily against the new one.
 		r.infNets = nil
 		r.infPred = nil
+		r.invalidateFastPath()
 		replaced = true
 	}
 	// Pre-fit snapshot: the rollback token for warm-start windows
@@ -343,6 +374,7 @@ func (r *Raven) train() {
 		}
 		r.infNets = nil
 		r.infPred = nil
+		r.invalidateFastPath()
 		rec.RolledBack = true
 		if r.obs != nil {
 			r.obs.Rollbacks.Inc()
@@ -351,6 +383,12 @@ func (r *Raven) train() {
 	} else {
 		r.trainSucceeded()
 		r.saveCheckpoint()
+		r.invalidateFastPath()
+		if r.cfg.ScoreCache && r.cfg.Inference32 {
+			// Quantize the freshly fitted weights now, off the decision
+			// path, so the first post-swap eviction pays no freeze.
+			r.frozen = r.net.Freeze32()
+		}
 	}
 	r.TrainStats = append(r.TrainStats, rec)
 }
@@ -414,13 +452,28 @@ func (r *Raven) OnEvict(key cache.Key) {
 
 // Victim implements cache.Policy: the §4.4 eviction rule. Before the
 // first model is trained — and whenever the health state machine is
-// in Fallback — it falls back to LRU over the resident list.
+// in Fallback — it falls back to LRU over the resident list. With
+// Config.ScoreCache on, the decision runs through the cached-score
+// fast path (fastpath.go); with Config.DecisionBudget armed, a
+// decision that overruns its deadline is abandoned to LRU and counted
+// (health.go sloOverrun).
+//
+//lint:allow determinism-taint the DecisionBudget deadline is the SLO feature itself; the clock can only influence the decision when Config.DecisionBudget > 0, which deterministic-replay configurations leave at 0
 func (r *Raven) Victim() (cache.Key, bool) {
 	if r.set.Len() == 0 {
 		return 0, false
 	}
 	if r.net == nil || r.health == Fallback {
 		return r.fallbackVictim(), true
+	}
+	if r.cfg.ScoreCache {
+		return r.victimFast()
+	}
+	budget := r.cfg.DecisionBudget
+	var deadline time.Time
+	if budget > 0 {
+		//lint:allow hot-path-purity the clock read IS the per-decision SLO; armed only when DecisionBudget > 0
+		deadline = time.Now().Add(budget) //lint:allow wall-clock the DecisionBudget deadline is the SLO feature; replay configurations leave the budget at 0
 	}
 	r.prepareCandidates()
 	n := len(r.scrKeys)
@@ -434,7 +487,17 @@ func (r *Raven) Victim() (cache.Key, bool) {
 			return r.fallbackVictim(), true
 		}
 	}
+	// Candidate-loop boundary: embed+predict is done, the estimator is
+	// next. A decision already past its deadline abandons to LRU here
+	// instead of paying the Monte Carlo (or quadrature) pass.
+	if r.overBudget(budget, deadline) {
+		r.sloOverrun()
+		return r.fallbackVictim(), true
+	}
 	if n == 1 {
+		if budget > 0 {
+			r.sloMet()
+		}
 		return r.scrKeys[0], true
 	}
 	if r.cfg.ExactPriority {
@@ -450,6 +513,9 @@ func (r *Raven) Victim() (cache.Key, bool) {
 				best = score
 				victim = r.scrKeys[j]
 			}
+		}
+		if budget > 0 {
+			r.sloMet()
 		}
 		return victim, true
 	}
@@ -468,6 +534,9 @@ func (r *Raven) Victim() (cache.Key, bool) {
 			best = score
 			victim = r.scrKeys[j]
 		}
+	}
+	if budget > 0 {
+		r.sloMet()
 	}
 	return victim, true
 }

@@ -18,6 +18,9 @@ import (
 var hotPathEntries = []string{
 	"internal/core.(*Raven).Victim",
 	"internal/nn.(*Net).PredictWith",
+	"internal/nn.(*Net).PredictBatch",
+	"internal/nn.(*Net).Freeze32",
+	"internal/nn.(*Frozen32).PredictBatch",
 	"internal/nn.(*Net).StepEmbed",
 	"internal/cache.(*Cache).evict",
 }
@@ -32,10 +35,13 @@ allocations — but only for the one configuration the test happens to
 run. hot-path-purity generalizes that test statically: it computes the
 transitive call closure of the eviction entry points
 
-    internal/core.(*Raven).Victim      (victim selection)
-    internal/nn.(*Net).PredictWith     (inference kernel)
-    internal/nn.(*Net).StepEmbed       (embedding kernel)
-    internal/cache.(*Cache).evict      (the lock-held eviction section)
+    internal/core.(*Raven).Victim           (victim selection)
+    internal/nn.(*Net).PredictWith          (inference kernel)
+    internal/nn.(*Net).PredictBatch         (fused batch inference, f64)
+    internal/nn.(*Net).Freeze32             (f32 weight snapshot build)
+    internal/nn.(*Frozen32).PredictBatch    (fused batch inference, f32)
+    internal/nn.(*Net).StepEmbed            (embedding kernel)
+    internal/cache.(*Cache).evict           (the lock-held eviction section)
 
 plus any function carrying a "//lint:hotpath <reason>" doc-comment
 directive, and reports every effect inside that closure: heap

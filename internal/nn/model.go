@@ -47,6 +47,11 @@ type Net struct {
 	fc1, fc2             *Dense
 	headW, headMu, headS *Dense
 	params               []*Param
+
+	// frozen32 caches the most recent Freeze32 result; it is rebuilt
+	// whenever Version moves past it. Never serialized — checkpoints
+	// hold f64 weights only, and a resumed net re-freezes lazily.
+	frozen32 *Frozen32
 }
 
 // NewNet builds a freshly initialized network.
@@ -239,6 +244,24 @@ func (n *Net) Predict(h []float64, size, age float64, out *Mixture) {
 // allocation-free after the first mixture fill.
 func (n *Net) PredictWith(s *PredictScratch, h []float64, size, age float64, out *Mixture) {
 	n.forwardMLP(h, size, age, s.c, out)
+}
+
+// PredictInput is one candidate of a batched prediction: the history
+// embedding plus the size and age features.
+type PredictInput struct {
+	H         []float64
+	Size, Age float64
+}
+
+// PredictBatch fills out[i] with the mixture for in[i], walking the
+// shared layers once per candidate through a single scratch arena.
+// Each out[i] is bit-identical to the corresponding PredictWith call;
+// the batch form exists so the eviction fast path amortizes the
+// weight-matrix cache traffic over all dirty candidates at once.
+func (n *Net) PredictBatch(s *PredictScratch, in []PredictInput, out []Mixture) {
+	for i := range in {
+		n.forwardMLP(in[i].H, in[i].Size, in[i].Age, s.c, &out[i])
+	}
 }
 
 // StepEmbedInto advances hPrev by one interarrival into hOut (which

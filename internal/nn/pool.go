@@ -21,8 +21,29 @@ import (
 // order. Under that discipline every result is bit-identical for any
 // worker count, including 1 — parallelism changes who computes, never
 // what is computed or the order it is combined in.
+//
+// Workers are persistent: the first parallel dispatch spawns parked
+// goroutines (one per extra worker) that block on a wake channel
+// between rounds, so steady-state dispatch allocates nothing — the
+// old per-call `go func` fan-out cost 2(w-1)+1 heap allocations per
+// ParallelFor, which the eviction path's zero-alloc budget cannot
+// afford at Workers>1. Pools used for a bounded piece of work (one
+// Fit call) should Close() to release the goroutines; pools owned for
+// a policy's lifetime may keep them parked.
+//
+// A Pool is NOT safe for concurrent dispatch: one goroutine at a time
+// may call ParallelFor/Close (matching how Fit and Raven use it).
 type Pool struct {
 	workers int
+
+	// Persistent fork-join state. Dispatch publishes fn/n/w, wakes
+	// workers 1..w-1 through their buffered channels (the channel send
+	// gives the happens-before edge for the published fields), runs
+	// chunk 0 inline, and joins on wg.
+	fn   func(worker, i int)
+	n, w int
+	wake []chan struct{}
+	wg   sync.WaitGroup
 }
 
 // NewPool returns a pool that runs loops on up to workers goroutines.
@@ -54,7 +75,8 @@ func (p *Pool) Workers() int {
 // into at most Workers() contiguous chunks. Worker 0 is the calling
 // goroutine (no goroutines at all when the effective worker count is
 // 1, so serial pools add zero overhead and zero allocations); workers
-// 1..w-1 are forked per call and joined before ParallelFor returns.
+// 1..w-1 are persistent parked goroutines woken per call and joined
+// before ParallelFor returns.
 //
 // fn must treat `worker` as its scratch-buffer index and `i` as its
 // output-slot index; it must not write any state shared across
@@ -79,23 +101,63 @@ func (p *Pool) ParallelFor(n int, fn func(worker, i int)) {
 	p.forkJoin(n, w, fn)
 }
 
-// forkJoin is ParallelFor's parallel branch: workers 1..w-1 are forked
-// per call over their contiguous chunks, worker 0 runs its chunk on
-// the calling goroutine, and all are joined before returning.
+// forkJoin is ParallelFor's parallel branch: it publishes the round
+// (fn, n, w), wakes parked workers 1..w-1, runs worker 0's chunk on
+// the calling goroutine, and joins. Chunk bounds are computed by each
+// worker from (k, n, w) with the same k*n/w arithmetic the per-call
+// fan-out used, so results stay bit-identical to the old code — and
+// to every other worker count. Steady-state dispatch is allocation-
+// free; only the first round at a given width spawns goroutines.
 func (p *Pool) forkJoin(n, w int, fn func(worker, i int)) {
-	var wg sync.WaitGroup
-	wg.Add(w - 1)
+	p.spawn(w - 1)
+	p.fn, p.n, p.w = fn, n, w
+	p.wg.Add(w - 1)
 	for k := 1; k < w; k++ {
-		//lint:allow hot-path-purity the documented multi-worker exception: Workers=1 is the asserted alloc-free path
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(k, i)
-			}
-		}(k, k*n/w, (k+1)*n/w)
+		p.wake[k-1] <- struct{}{}
 	}
 	for i := 0; i < n/w; i++ {
 		fn(0, i)
 	}
-	wg.Wait()
+	p.wg.Wait()
+	p.fn = nil // drop the closure reference between rounds
+}
+
+// spawn ensures at least extra parked worker goroutines exist. Each
+// worker owns its wake channel directly (not through p.wake, which
+// later spawns may reallocate).
+func (p *Pool) spawn(extra int) {
+	for len(p.wake) < extra {
+		//lint:allow hot-path-purity one-time worker spawn at first parallel dispatch; parked workers make every later dispatch allocation-free
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.work(len(p.wake), ch)
+	}
+}
+
+// work is the persistent worker loop for worker index k: wake, run
+// the k-th contiguous chunk of the published round, signal done, park.
+// A closed wake channel retires the worker.
+func (p *Pool) work(k int, wake chan struct{}) {
+	for range wake {
+		for i := k * p.n / p.w; i < (k+1)*p.n/p.w; i++ {
+			p.fn(k, i)
+		}
+		p.wg.Done()
+	}
+}
+
+// Close retires the pool's parked worker goroutines. The pool remains
+// usable — a later ParallelFor simply respawns workers — so Close is
+// a resource release, not a terminal state; closing an idle or
+// never-dispatched pool (or closing twice) is a no-op. Callers that
+// create a pool per bounded job (Fit does) should defer Close so
+// goroutines do not accumulate across jobs.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.wake {
+		close(ch)
+	}
+	p.wake = nil
 }

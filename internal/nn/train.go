@@ -150,6 +150,7 @@ func (n *Net) Fit(data []Sequence, tc TrainConfig) TrainResult {
 	val, train := idx[:nVal], idx[nVal:]
 
 	st := newFitState(n, tc, nVal)
+	defer st.pool.Close() // release parked workers when this fit's batches are done
 	opt := NewAdam(tc.LR, n.params)
 	best := math.Inf(1)
 	bestW := n.snapshot()

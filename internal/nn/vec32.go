@@ -1,0 +1,97 @@
+package nn
+
+// float32 inference kernels. Training stays float64 end-to-end (the
+// hand-derived gradients and the finite-difference tests depend on
+// f64 precision); these kernels serve only the frozen inference path
+// (Frozen32, infer32.go), where halving the operand width roughly
+// doubles effective SIMD lanes and halves the weight-matrix cache
+// footprint. The mixture parameters an f32 forward pass produces
+// differ from the f64 pass by ~1e-6 relative — far below the Monte
+// Carlo estimator's own sampling noise (DESIGN.md "Inference fast
+// path & SLO" quantifies the error budget).
+//
+// The kernels mirror vec.go's shape exactly: 4-wide unrolled
+// accumulator chains combined as (s0+s1)+(s2+s3), so results are
+// deterministic (fixed association) for every worker count.
+
+// matVec32 computes y = W*x + y0 where W is rows×cols row-major,
+// len(x) = cols, len(y) = rows. y is overwritten with W*x when y0 is
+// nil, otherwise y = W*x + y0 (y and y0 may alias).
+func matVec32(w []float32, rows, cols int, x, y0, y []float32) {
+	x = x[:cols]
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : r*cols+cols]
+		var s0, s1, s2, s3 float32
+		c := 0
+		for ; c+4 <= cols; c += 4 {
+			s0 += row[c] * x[c]
+			s1 += row[c+1] * x[c+1]
+			s2 += row[c+2] * x[c+2]
+			s3 += row[c+3] * x[c+3]
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for ; c < cols; c++ {
+			s += row[c] * x[c]
+		}
+		if y0 != nil {
+			s += y0[r]
+		}
+		y[r] = s
+	}
+}
+
+// matTVecAdd32 computes dx += W^T * dy. Inference itself never
+// back-propagates; the kernel exists so the f32 seam is complete for
+// benchmarking and for a future SIMD backend that wants both
+// orientations behind one switch.
+func matTVecAdd32(w []float32, rows, cols int, dy, dx []float32) {
+	dx = dx[:cols]
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : r*cols+cols]
+		d := dy[r]
+		if d == 0 { //lint:allow float-equal exact zero skips dead rows; bit-exact by design
+			continue
+		}
+		c := 0
+		for ; c+4 <= cols; c += 4 {
+			dx[c] += row[c] * d
+			dx[c+1] += row[c+1] * d
+			dx[c+2] += row[c+2] * d
+			dx[c+3] += row[c+3] * d
+		}
+		for ; c < cols; c++ {
+			dx[c] += row[c] * d
+		}
+	}
+}
+
+// relu32 applies max(0, x) elementwise from x into y (may alias).
+func relu32(x, y []float32) {
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		} else {
+			y[i] = 0
+		}
+	}
+}
+
+// quantize32 copies an f64 tensor into a freshly allocated f32 one.
+func quantize32(w []float64) []float32 {
+	//lint:allow hot-path-purity runs only inside Freeze32's once-per-model-swap snapshot build
+	out := make([]float32, len(w))
+	for i, v := range w {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// Exported f32 kernel entry points: cmd/ravenbench times these
+// directly against the f64 kernels, and they are the seam a SIMD or
+// assembly backend would replace.
+
+// MatVec32 computes y = W*x (+ y0 when non-nil); see matVec32.
+func MatVec32(w []float32, rows, cols int, x, y0, y []float32) { matVec32(w, rows, cols, x, y0, y) }
+
+// MatTVecAdd32 computes dx += W^T * dy; see matTVecAdd32.
+func MatTVecAdd32(w []float32, rows, cols int, dy, dx []float32) { matTVecAdd32(w, rows, cols, dy, dx) }

@@ -29,6 +29,16 @@ type RavenObs struct {
 	// 2 fallback); HealthTransitions counts state changes.
 	Health            Gauge
 	HealthTransitions Counter
+
+	// SLOOverruns counts eviction decisions abandoned because they
+	// exceeded core.Config.DecisionBudget (served from LRU instead).
+	SLOOverruns Counter
+	// ScoreCacheHits counts sampled eviction candidates whose cached
+	// priority score was still valid; ScoreRescores counts candidates
+	// that had to be re-embedded/re-predicted. Their sum is the total
+	// number of candidates considered by the fast path.
+	ScoreCacheHits Counter
+	ScoreRescores  Counter
 }
 
 // Register adds every RavenObs metric to r under prefix (e.g.
@@ -42,4 +52,7 @@ func (ro *RavenObs) Register(r *Registry, prefix string) {
 	r.adoptCounter(prefix+".ckpt_corrupt_skipped", &ro.CkptCorruptSkipped)
 	r.adoptGauge(prefix+".health", &ro.Health)
 	r.adoptCounter(prefix+".health_transitions", &ro.HealthTransitions)
+	r.adoptCounter(prefix+".slo_overruns", &ro.SLOOverruns)
+	r.adoptCounter(prefix+".score_cache_hits", &ro.ScoreCacheHits)
+	r.adoptCounter(prefix+".score_rescores", &ro.ScoreRescores)
 }

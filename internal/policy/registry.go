@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"raven/internal/cache"
 	"raven/internal/core"
@@ -56,6 +57,15 @@ type Options struct {
 	// Obs, when non-nil, receives Raven's model-lifecycle metrics
 	// (rollbacks, health transitions, checkpoint accounting).
 	Obs *obs.RavenObs
+	// ScoreCache enables Raven's cached-score eviction fast path;
+	// Inference32 additionally runs its prediction kernels in float32
+	// (training stays float64). DecisionBudget arms a per-decision wall
+	// clock deadline: an overrun serves the LRU fallback and counts
+	// toward health degradation (0 keeps the clock off the decision
+	// path). See DESIGN.md "Inference fast path & SLO".
+	ScoreCache     bool
+	Inference32    bool
+	DecisionBudget time.Duration
 	// Raven optionally overrides the default Raven configuration; its
 	// TrainWindow/Goal/Seed are filled from this Options if zero.
 	Raven *core.Config
@@ -104,6 +114,15 @@ func (o Options) ravenConfig(goal core.Goal) core.Config {
 	}
 	if cfg.Obs == nil {
 		cfg.Obs = o.Obs
+	}
+	if !cfg.ScoreCache {
+		cfg.ScoreCache = o.ScoreCache
+	}
+	if !cfg.Inference32 {
+		cfg.Inference32 = o.Inference32
+	}
+	if cfg.DecisionBudget == 0 {
+		cfg.DecisionBudget = o.DecisionBudget
 	}
 	return cfg
 }

@@ -6,6 +6,11 @@
 # The report includes the server shard sweep (1/2/4/8 shards x 8
 # concurrent clients); shard speedups need real cores, so read it next
 # to the recorded num_cpu/gomaxprocs fields.
+#
+# Compare two reports (exits non-zero on a >10% eviction-latency
+# regression in evict_decision or evict_decision_p99):
+#
+#   scripts/bench.sh -compare BENCH_old.json BENCH_new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 go run ./cmd/ravenbench "$@"

@@ -81,6 +81,11 @@ if ! cmp -s "${LINT_DIR}/baseline.json" .ravenlint-baseline.json; then
 fi
 rm -rf "${LINT_DIR}"
 
+echo "==> eviction alloc sweep (0 allocs/op at Workers 1,2,4,8)"
+go test -count=1 -run 'TestEvictionPathAllocFree|TestFastPathAllocFree' ./internal/core/
+
+# Covers BenchmarkEvictDecisionFast (the ScoreCache fast path) alongside
+# the legacy decision and kernel benchmarks.
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./internal/nn/... ./internal/core/... >/dev/null
 
