@@ -13,12 +13,13 @@
 // Usage:
 //
 //	ravenbench [-out DIR] [-workers 1,2,4,8] [-quick]
+//	           [-pipeclients 2,8] [-pipedepths 1,16,64]
 //	ravenbench -compare OLD.json NEW.json
 //
 // The -compare mode prints per-section deltas between two reports and
-// exits non-zero when the eviction-decision sections regressed by more
-// than 10%, so the perf trajectory is enforceable in CI, not just
-// recorded.
+// exits non-zero when the eviction-decision latencies or the
+// pipelined-sweep throughput regressed by more than 10%, so the perf
+// trajectory is enforceable in CI, not just recorded.
 package main
 
 import (
@@ -78,6 +79,16 @@ type shardResult struct {
 	Speedup   float64 `json:"speedup_vs_one_shard"`
 }
 
+type pipeResult struct {
+	Clients   int     `json:"clients"`
+	Depth     int     `json:"pipeline_depth"`
+	Requests  int     `json:"requests_total"`
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"requests_per_sec"`
+	P50Ns     float64 `json:"p50_ns"`
+	P99Ns     float64 `json:"p99_ns"`
+}
+
 type decisionP99Result struct {
 	Mode               string  `json:"mode"` // "f64" or "f32" inference kernels
 	Workers            int     `json:"workers"`
@@ -98,6 +109,10 @@ type report struct {
 	EvictP99   []decisionP99Result `json:"evict_decision_p99,omitempty"`
 	EndToEnd   []e2eResult         `json:"end_to_end_sim"`
 	ShardSweep []shardResult       `json:"shard_sweep_server"`
+	// PipelinedSweep measures the binary protocol with request
+	// pipelining against the same server setup as ShardSweep; depth 1
+	// isolates the binary framing win, deeper pipelines add batching.
+	PipelinedSweep []pipeResult `json:"pipelined_sweep,omitempty"`
 }
 
 // timeOp measures ns/op of fn, running it repeatedly until at least
@@ -472,6 +487,96 @@ func benchShards(shardCounts []int, clients, perClient int) []shardResult {
 	return out
 }
 
+// benchPipelined measures the binary protocol's pipelined serving
+// path: an 8-shard LHD server (the ShardSweep setup, so the two
+// sections share a baseline) hammered by binary-protocol clients
+// keeping `depth` requests in flight each, over the same mixed
+// 10%-SET key pattern as benchShards. Reported per (clients, depth)
+// cell: aggregate req/s plus the p50/p99 per-request latency as the
+// pipelining client observes it (enqueue to reply, so deep pipelines
+// trade latency for throughput by construction).
+func benchPipelined(clientCounts, depths []int, perClient int) []pipeResult {
+	f, err := policy.Lookup("lhd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ravenbench:", err)
+		os.Exit(1)
+	}
+	out := make([]pipeResult, 0, len(clientCounts)*len(depths))
+	for _, clients := range clientCounts {
+		for _, depth := range depths {
+			const capacity, shards = 1 << 20, 8
+			srv, err := server.New(server.Config{
+				Capacity:  capacity,
+				Shards:    shards,
+				NewPolicy: f.PerShard(policy.Options{Capacity: capacity, Seed: 7}, shards),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ravenbench:", err)
+				os.Exit(1)
+			}
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			stats99 := make([]server.PipelineStats, clients)
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c, depth int) {
+					defer wg.Done()
+					cl, err := server.DialBinary(srv.Addr())
+					if err != nil {
+						failed.Store(true)
+						return
+					}
+					defer cl.Close()
+					cl.Timeout = 30 * time.Second
+					g := stats.NewRNG(int64(c + 1))
+					ops := make([]server.Op, perClient)
+					for i := range ops {
+						key := trace.Key(g.Intn(8192))
+						ops[i] = server.Op{
+							Key:  key,
+							Size: int64(64 + int(key)%1024),
+							Time: -1,
+							Set:  g.Float64() < 0.1,
+						}
+					}
+					st, err := cl.Pipeline(ops, depth)
+					if err != nil {
+						failed.Store(true)
+						return
+					}
+					stats99[c] = st
+				}(c, depth)
+			}
+			wg.Wait()
+			el := time.Since(start).Seconds()
+			_ = srv.Close()
+			if failed.Load() {
+				fmt.Fprintln(os.Stderr, "ravenbench: pipelined sweep client failed")
+				os.Exit(1)
+			}
+			// Aggregate: throughput over shared wall time; the latency
+			// percentiles are the worst client's (conservative — one
+			// sorted merge per cell is not worth the memory).
+			total := clients * perClient
+			res := pipeResult{
+				Clients: clients, Depth: depth, Requests: total,
+				Seconds: el, ReqPerSec: float64(total) / el,
+			}
+			for _, st := range stats99 {
+				if st.P50Ns > res.P50Ns {
+					res.P50Ns = st.P50Ns
+				}
+				if st.P99Ns > res.P99Ns {
+					res.P99Ns = st.P99Ns
+				}
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
 // ---- report comparison (-compare OLD.json NEW.json) ----
 
 func loadReport(path string) (*report, error) {
@@ -501,11 +606,27 @@ func deltaLine(before, after float64, tol float64, gate bool) (string, bool) {
 	return s, false
 }
 
+// deltaLineUp is deltaLine for metrics where bigger is better
+// (throughput): a regression is after dropping more than tol below
+// before.
+func deltaLineUp(before, after float64, tol float64, gate bool) (string, bool) {
+	if before <= 0 {
+		return fmt.Sprintf("%12.1f -> %12.1f  (no baseline)", before, after), false
+	}
+	pct := (after - before) / before * 100
+	s := fmt.Sprintf("%12.1f -> %12.1f  (%+6.1f%%)", before, after, pct)
+	if gate && after < before*(1-tol) {
+		return s + "  REGRESSION", true
+	}
+	return s, false
+}
+
 // compareReports prints per-section deltas between two ravenbench
 // reports and returns true when a gated section (the eviction-decision
-// mean and p99 latencies) regressed by more than tol. Sections or
-// entries present in only one report are skipped — older reports
-// predate evict_decision_p99.
+// mean and p99 latencies, and pipelined-sweep throughput) regressed by
+// more than tol. Sections or entries present in only one report are
+// skipped — older reports predate evict_decision_p99 and
+// pipelined_sweep.
 func compareReports(oldRep, newRep *report, tol float64) bool {
 	regressed := false
 	check := func(s string, bad bool) {
@@ -570,8 +691,18 @@ func compareReports(oldRep, newRep *report, tol float64) bool {
 			}
 		}
 	}
+	fmt.Printf("== pipelined_sweep (req/s, gated at -%.0f%%)\n", tol*100)
+	for _, n := range newRep.PipelinedSweep {
+		for _, o := range oldRep.PipelinedSweep {
+			if o.Clients == n.Clients && o.Depth == n.Depth {
+				s, bad := deltaLineUp(o.ReqPerSec, n.ReqPerSec, tol, true)
+				check(fmt.Sprintf("clients=%-2d depth=%-3d %s  p99 %.0f -> %.0f ns",
+					n.Clients, n.Depth, s, o.P99Ns, n.P99Ns), bad)
+			}
+		}
+	}
 	if regressed {
-		fmt.Printf("FAIL: eviction decision latency regressed by more than %.0f%%\n", tol*100)
+		fmt.Printf("FAIL: a gated section (eviction latency or pipelined throughput) regressed by more than %.0f%%\n", tol*100)
 	} else {
 		fmt.Println("OK: no gated regressions")
 	}
@@ -582,6 +713,8 @@ func main() {
 	outDir := flag.String("out", ".", "directory for the BENCH_<date>.json report")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts (first is the serial baseline)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast smoke run")
+	pipeDepths := flag.String("pipedepths", "1,16,64", "comma-separated pipeline depths for the pipelined sweep")
+	pipeClients := flag.String("pipeclients", "2,8", "comma-separated client counts for the pipelined sweep")
 	compare := flag.Bool("compare", false, "compare two reports: ravenbench -compare OLD.json NEW.json; exits 1 on >10% eviction-latency regression")
 	flag.Parse()
 
@@ -606,15 +739,21 @@ func main() {
 		return
 	}
 
-	var workers []int
-	for _, f := range strings.Split(*workersFlag, ",") {
-		w, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || w < 1 {
-			fmt.Fprintf(os.Stderr, "ravenbench: bad -workers entry %q\n", f)
-			os.Exit(2)
+	parseInts := func(flagName, val string) []int {
+		var out []int
+		for _, f := range strings.Split(val, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "ravenbench: bad %s entry %q\n", flagName, f)
+				os.Exit(2)
+			}
+			out = append(out, v)
 		}
-		workers = append(workers, w)
+		return out
 	}
+	workers := parseInts("-workers", *workersFlag)
+	depths := parseInts("-pipedepths", *pipeDepths)
+	pclients := parseInts("-pipeclients", *pipeClients)
 
 	kernelDur := 50 * time.Millisecond
 	seqs, reqs := 256, 40000
@@ -655,6 +794,8 @@ func main() {
 		perClient = 500
 	}
 	rep.ShardSweep = benchShards([]int{1, 2, 4, 8}, 8, perClient)
+	fmt.Fprintln(os.Stderr, "==> server pipelined sweep (binary protocol)")
+	rep.PipelinedSweep = benchPipelined(pclients, depths, perClient)
 
 	path := filepath.Join(*outDir, "BENCH_"+rep.Date+".json")
 	buf, err := json.MarshalIndent(&rep, "", "  ")

@@ -13,6 +13,14 @@
 //	METRICS                  →  METRICS <n> followed by n "name value" lines
 //	QUIT
 //
+// The same port also speaks a fixed-frame binary protocol (memcached
+// style): a connection whose first byte is 0x80 is served 26-byte
+// little-endian request frames (verb, key, size, time) with 10-byte
+// status replies, pipelined, on a zero-allocation path. See
+// internal/server/binary.go for the frame layout. -readbuf sizes the
+// per-connection read buffer, which bounds how many pipelined
+// requests batch into one reply flush.
+//
 // -shards splits the cache into independent shards (memcached-style,
 // rounded up to a power of two), each with its own policy instance and
 // lock, so concurrent clients on different shards never contend.
@@ -67,6 +75,7 @@ func run() int {
 		idleTimeout  = flag.Duration("idletimeout", 0, "per-request read deadline (0 = 2m default, negative = off)")
 		writeTimeout = flag.Duration("writetimeout", 0, "per-response write deadline (0 = 30s default, negative = off)")
 		drain        = flag.Duration("drain", 0, "graceful drain bound on shutdown (0 = 5s default, negative = wait forever)")
+		readBuf      = flag.Int("readbuf", 0, "per-connection read buffer in bytes (0 = 16KiB default); bounds pipelined reply batching")
 		metricsEvery = flag.Duration("metricsevery", 0, "log a metrics snapshot line this often (0 = off)")
 	)
 	flag.Parse()
@@ -110,6 +119,7 @@ func run() int {
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drain,
+		ReadBuf:      *readBuf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ravencached:", err)

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+// BenchmarkServing measures over-the-wire request throughput for the
+// text and binary protocols at several pipeline depths (depth 1 is
+// strict request-response). CI runs it with -benchtime=1x as a smoke
+// test of the pipelined path; real numbers come from ravenbench's
+// pipelined_sweep.
+func BenchmarkServing(b *testing.B) {
+	for _, bc := range []struct {
+		proto string
+		depth int
+	}{
+		{"text", 1},
+		{"binary", 1},
+		{"binary", 32},
+	} {
+		b.Run(fmt.Sprintf("%s/depth=%d", bc.proto, bc.depth), func(b *testing.B) {
+			cfg := Config{
+				Capacity:     1 << 20,
+				Policy:       policy.MustNew("lru", policy.Options{Capacity: 1 << 20}),
+				DrainTimeout: 0,
+			}
+			srv, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			var cl *Client
+			if bc.proto == "binary" {
+				cl, err = DialBinary(srv.Addr())
+			} else {
+				cl, err = Dial(srv.Addr())
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+
+			ops := make([]Op, b.N)
+			for i := range ops {
+				ops[i] = Op{Key: trace.Key(i % 1024), Size: 64, Time: -1, Set: i%10 == 9}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			st, err := cl.Pipeline(ops, bc.depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if st.Requests != b.N {
+				b.Fatalf("served %d of %d requests", st.Requests, b.N)
+			}
+			b.ReportMetric(st.ReqPerSec(), "req/s")
+		})
+	}
+}

@@ -1,0 +1,179 @@
+// Binary protocol: a length-prefixed, fixed-frame wire format
+// (memcached-style) served alongside the text protocol on the same
+// port. The first byte of a connection selects the protocol: no text
+// command starts with binMagicReq, so one Peek routes the connection
+// for its whole lifetime.
+//
+// Request frame (binReqLen = 26 bytes, little-endian):
+//
+//	magic(1)=0x80  verb(1)  key(8)  size(8)  time(8)
+//
+// Reply frame (binRespLen = 10 bytes, little-endian):
+//
+//	magic(1)=0x81  status(1)  size(8)
+//
+// time is a signed trace timestamp; binNoTime (-1) means "clockless
+// client, use the server's virtual clock". Any other negative time is
+// a malformed frame. Verbs and statuses are single bytes; statuses
+// >= 0x80 are errors, after which the server closes the connection
+// (framing can no longer be trusted).
+//
+// Pipelining: clients may send any number of frames without waiting
+// for replies. Replies come back in request order; the server batches
+// them and flushes once per drained read burst, so a pipelined batch
+// costs one write syscall instead of one per reply.
+package server
+
+import (
+	"encoding/binary"
+	"io"
+	"time"
+
+	"raven/internal/obs"
+	"raven/internal/trace"
+)
+
+// Frame geometry.
+const (
+	binMagicReq  = 0x80 // first byte of every request frame
+	binMagicResp = 0x81 // first byte of every reply frame
+	binReqLen    = 26   // magic(1) verb(1) key(8) size(8) time(8)
+	binRespLen   = 10   // magic(1) status(1) size(8)
+)
+
+// binNoTime in a frame's time field requests the server's virtual
+// clock (the binary equivalent of omitting [time] in the text
+// protocol). More-negative times are rejected as malformed.
+const binNoTime int64 = -1
+
+// Request verbs.
+const (
+	binVerbGet  byte = 0x01
+	binVerbSet  byte = 0x02
+	binVerbQuit byte = 0x03
+)
+
+// Reply statuses. Statuses >= binStatusErr are errors and terminate
+// the connection.
+const (
+	binStatusHit       byte = 0x00
+	binStatusMiss      byte = 0x01
+	binStatusStored    byte = 0x02
+	binStatusNotStored byte = 0x03
+
+	binStatusErr      byte = 0x80
+	binStatusBadVerb  byte = 0x80 // unknown verb
+	binStatusBadFrame byte = 0x81 // bad magic, non-positive size, or time < -1
+)
+
+// putBinReq encodes one request frame.
+func putBinReq(dst *[binReqLen]byte, verb byte, key trace.Key, size, ts int64) {
+	dst[0] = binMagicReq
+	dst[1] = verb
+	binary.LittleEndian.PutUint64(dst[2:10], uint64(key))
+	binary.LittleEndian.PutUint64(dst[10:18], uint64(size))
+	binary.LittleEndian.PutUint64(dst[18:26], uint64(ts))
+}
+
+// putBinResp encodes one reply frame.
+func putBinResp(dst *[binRespLen]byte, status byte, size int64) {
+	dst[0] = binMagicResp
+	dst[1] = status
+	binary.LittleEndian.PutUint64(dst[2:10], uint64(size))
+}
+
+// handleBinary serves one binary-protocol connection. The request
+// header and reply frame live in the per-connection connIO, so the
+// steady-state GET/SET loop performs zero heap allocations per
+// request (TestServingPathAllocFree). Replies are buffered and
+// flushed once per drained read burst.
+func (s *Server) handleBinary(c *connIO) {
+	for {
+		// Arm the idle deadline only when the next header read can
+		// block; mid-burst frames are already buffered.
+		if c.br.Buffered() < binReqLen && c.idle > 0 {
+			_ = c.conn.SetReadDeadline(time.Now().Add(c.idle))
+		}
+		if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+			s.classifyReadErr(err)
+			return
+		}
+		if c.hdr[0] != binMagicReq {
+			s.met.badRequests.Inc()
+			s.binError(c, binStatusBadFrame)
+			return
+		}
+		verb := c.hdr[1]
+		key := trace.Key(binary.LittleEndian.Uint64(c.hdr[2:10]))
+		size := int64(binary.LittleEndian.Uint64(c.hdr[10:18]))
+		ts := int64(binary.LittleEndian.Uint64(c.hdr[18:26]))
+		switch verb {
+		case binVerbGet, binVerbSet:
+			if size <= 0 || ts < binNoTime {
+				s.met.badRequests.Inc()
+				s.binError(c, binStatusBadFrame)
+				return
+			}
+			s.met.requestsBinary.Inc()
+			t0 := time.Now()
+			var status byte
+			var hist *obs.Histogram
+			if verb == binVerbGet {
+				hit := s.serve(key, size, ts)
+				if s.cfg.CacheDelay > 0 {
+					time.Sleep(s.cfg.CacheDelay)
+				}
+				if !hit && s.cfg.OriginDelay > 0 {
+					time.Sleep(s.cfg.OriginDelay)
+				}
+				status, hist = binStatusMiss, s.met.getLatency
+				if hit {
+					status = binStatusHit
+				}
+			} else {
+				stored := s.serveSet(key, size, ts)
+				if s.cfg.CacheDelay > 0 {
+					time.Sleep(s.cfg.CacheDelay)
+				}
+				status, hist = binStatusNotStored, s.met.setLatency
+				if stored {
+					status = binStatusStored
+				}
+			}
+			if f := s.cfg.Faults; f != nil && f.PreReply != nil {
+				f.PreReply()
+			}
+			putBinResp(&c.rep, status, size)
+			_, err := c.bw.Write(c.rep[:])
+			hist.Observe(time.Since(t0).Nanoseconds())
+			if err != nil {
+				return
+			}
+			// Flush once the read side has drained below a full frame:
+			// the client is (or will be) blocked on these replies.
+			if c.br.Buffered() < binReqLen || c.bw.Available() < binRespLen {
+				if !c.flush() {
+					return
+				}
+			}
+		case binVerbQuit:
+			c.flush()
+			return
+		default:
+			s.met.badRequests.Inc()
+			s.binError(c, binStatusBadVerb)
+			return
+		}
+	}
+}
+
+// binError sends one error reply best-effort; the caller then closes
+// the connection (an unparseable frame means framing is lost).
+func (s *Server) binError(c *connIO, status byte) {
+	if c.write > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.write))
+	}
+	putBinResp(&c.rep, status, 0)
+	_, _ = c.bw.Write(c.rep[:])
+	c.flush()
+}

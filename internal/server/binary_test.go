@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"raven/internal/policy"
+	"raven/internal/trace"
+)
+
+// dialBinary returns a binary-protocol client against srv.
+func dialBinary(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cl, err := DialBinary(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestBinaryGetSetRoundTrip(t *testing.T) {
+	srv := newTestServer(t, 100)
+	cl := dialBinary(t, srv)
+
+	hit, err := cl.Get(1, 10, 1)
+	if err != nil || hit {
+		t.Fatalf("first GET: hit=%v err=%v", hit, err)
+	}
+	hit, err = cl.Get(1, 10, 2)
+	if err != nil || !hit {
+		t.Fatalf("second GET: hit=%v err=%v", hit, err)
+	}
+	stored, err := cl.Set(2, 20, 3)
+	if err != nil || !stored {
+		t.Fatalf("SET: stored=%v err=%v", stored, err)
+	}
+	hit, err = cl.Get(2, 20, binNoTime) // clockless request on the same conn
+	if err != nil || !hit {
+		t.Fatalf("GET after SET: hit=%v err=%v", hit, err)
+	}
+	st := srv.Stats()
+	if st.Requests != 3 || st.Hits != 2 {
+		t.Errorf("stats %+v", st)
+	}
+
+	// The protocol sniff and per-protocol counters must attribute all
+	// of the above to the binary side.
+	txt, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txt.Close()
+	m, err := txt.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["server.conns_binary"] != 1 || m["server.requests_binary"] != 4 {
+		t.Errorf("binary counters: conns=%d requests=%d", m["server.conns_binary"], m["server.requests_binary"])
+	}
+	if m["server.requests_text"] != 0 {
+		t.Errorf("text requests = %d, want 0", m["server.requests_text"])
+	}
+}
+
+// rawFrame builds one request frame with arbitrary field values.
+func rawFrame(magic, verb byte, key, size, ts uint64) []byte {
+	b := make([]byte, binReqLen)
+	b[0] = magic
+	b[1] = verb
+	binary.LittleEndian.PutUint64(b[2:10], key)
+	binary.LittleEndian.PutUint64(b[10:18], size)
+	binary.LittleEndian.PutUint64(b[18:26], ts)
+	return b
+}
+
+// readRawReply reads one reply frame from conn.
+func readRawReply(t *testing.T, conn net.Conn) (status byte, size int64) {
+	t.Helper()
+	var rep [binRespLen]byte
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, rep[:]); err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if rep[0] != binMagicResp {
+		t.Fatalf("reply magic 0x%02x", rep[0])
+	}
+	return rep[1], int64(binary.LittleEndian.Uint64(rep[2:10]))
+}
+
+// TestBinaryHostileFrames sends malformed frames and checks that each
+// one is answered with an error status (or a clean close) and never
+// takes the server down: a follow-up connection must still be served.
+func TestBinaryHostileFrames(t *testing.T) {
+	srv := newTestServer(t, 100)
+
+	cases := []struct {
+		name  string
+		frame []byte
+		want  byte // expected error status; 0 means expect-close-only
+	}{
+		{"bad verb", rawFrame(binMagicReq, 0x7f, 1, 10, 1), binStatusBadVerb},
+		{"zero size", rawFrame(binMagicReq, binVerbGet, 1, 0, 1), binStatusBadFrame},
+		{"negative size", rawFrame(binMagicReq, binVerbGet, 1, math.MaxUint64, 1), binStatusBadFrame},
+		{"time below -1", rawFrame(binMagicReq, binVerbSet, 1, 10, math.MaxUint64 - 4), binStatusBadFrame},
+		{"bad magic mid-stream", append(rawFrame(binMagicReq, binVerbGet, 1, 10, 1),
+			rawFrame(0x99, binVerbGet, 1, 10, 1)...), binStatusBadFrame},
+		{"truncated header", rawFrame(binMagicReq, binVerbGet, 1, 10, 1)[:10], 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(tc.frame); err != nil {
+				t.Fatal(err)
+			}
+			if tc.want == 0 {
+				// A truncated frame can only be detected at close.
+				_ = conn.(*net.TCPConn).CloseWrite()
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			buf, _ := io.ReadAll(conn) // server must close after an error
+			if tc.want != 0 {
+				// Skip any valid replies that preceded the bad frame.
+				if len(buf) < binRespLen || len(buf)%binRespLen != 0 {
+					t.Fatalf("reply bytes = %d, want multiple of %d", len(buf), binRespLen)
+				}
+				last := buf[len(buf)-binRespLen:]
+				if last[0] != binMagicResp || last[1] != tc.want {
+					t.Errorf("last reply = magic 0x%02x status 0x%02x, want status 0x%02x", last[0], last[1], tc.want)
+				}
+			} else if len(buf) != 0 {
+				t.Errorf("unexpected %d reply bytes for a truncated frame", len(buf))
+			}
+		})
+	}
+
+	// Giant (but positive) sizes must be handled, not crash: the cache
+	// rejects an object larger than its capacity.
+	t.Run("giant size", func(t *testing.T) {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(rawFrame(binMagicReq, binVerbSet, 7, 1<<62, 1)); err != nil {
+			t.Fatal(err)
+		}
+		status, size := readRawReply(t, conn)
+		if status != binStatusNotStored || size != 1<<62 {
+			t.Errorf("giant SET: status=0x%02x size=%d", status, size)
+		}
+	})
+
+	// The server must still be healthy after all of the above.
+	cl := dialBinary(t, srv)
+	if _, err := cl.Get(99, 5, binNoTime); err != nil {
+		t.Fatalf("server unhealthy after hostile frames: %v", err)
+	}
+}
+
+// TestBinaryNegativeTimeRejected is the binary twin of the text
+// protocol's "ERR bad time": time == -1 means clockless, anything
+// more negative is malformed and must not fall back to the virtual
+// clock.
+func TestBinaryNegativeTimeRejected(t *testing.T) {
+	srv := newTestServer(t, 100)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(rawFrame(binMagicReq, binVerbGet, 1, 10, uint64(math.MaxUint64-4))); err != nil { // ts = -5
+		t.Fatal(err)
+	}
+	status, _ := readRawReply(t, conn)
+	if status != binStatusBadFrame {
+		t.Errorf("ts=-5 status = 0x%02x, want 0x%02x", status, binStatusBadFrame)
+	}
+	if n := srv.Stats().Requests; n != 0 {
+		t.Errorf("malformed frame reached the cache: requests=%d", n)
+	}
+}
+
+// TestBinaryFrameSplitAcrossReads trickles one frame a byte at a time;
+// the framing layer must reassemble it into one request.
+func TestBinaryFrameSplitAcrossReads(t *testing.T) {
+	srv := newTestServer(t, 100)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame := rawFrame(binMagicReq, binVerbSet, 42, 10, 1)
+	for _, b := range frame {
+		if _, err := conn.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	status, size := readRawReply(t, conn)
+	if status != binStatusStored || size != 10 {
+		t.Errorf("split SET: status=0x%02x size=%d", status, size)
+	}
+}
+
+// FuzzBinaryFrames throws arbitrary bytes at a live server. Whatever
+// arrives — hostile frames, random text, protocol switches mid-stream
+// — the server must answer or close without panicking, and must stay
+// healthy for the next connection.
+func FuzzBinaryFrames(f *testing.F) {
+	cfg := Config{
+		Capacity:     1 << 20,
+		Policy:       policy.MustNew("lru", policy.Options{Capacity: 1 << 20}),
+		DrainTimeout: time.Second,
+		IdleTimeout:  200 * time.Millisecond,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.Close() })
+
+	f.Add(rawFrame(binMagicReq, binVerbGet, 1, 10, 1))
+	f.Add(rawFrame(binMagicReq, binVerbSet, 2, 20, uint64(math.MaxUint64))) // ts = -1
+	f.Add(rawFrame(binMagicReq, binVerbQuit, 0, 0, 0))
+	f.Add(rawFrame(binMagicReq, 0xff, 1, 1, 1))
+	f.Add(rawFrame(binMagicReq, binVerbGet, 1, math.MaxUint64, 1))
+	f.Add(rawFrame(binMagicReq, binVerbGet, 1, 10, 1)[:7]) // truncated
+	f.Add([]byte{binMagicReq})
+	f.Add([]byte("GET 1 10\nMETRICS\n"))
+	f.Add(append([]byte("GET 1 10\n"), rawFrame(binMagicReq, binVerbGet, 1, 10, 1)...))
+	f.Add(bytes.Repeat(rawFrame(binMagicReq, binVerbGet, 3, 30, 5), 16)) // pipelined burst
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Skip("dial:", err)
+		}
+		defer conn.Close()
+		_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+		_, _ = conn.Write(data)
+		_ = conn.(*net.TCPConn).CloseWrite()
+		_, _ = io.Copy(io.Discard, conn) // drain whatever the server says
+	})
+}
+
+// TestServingPathAllocFree pins the zero-allocation budget of the
+// binary serving path: with deadlines disabled and buffers warmed, a
+// GET hit and a same-size SET must not allocate — on the server or
+// the client side (AllocsPerRun counts process-wide mallocs, and the
+// handler goroutine runs within the measured window).
+func TestServingPathAllocFree(t *testing.T) {
+	srv := newTestServer(t, 1<<20, func(c *Config) {
+		c.IdleTimeout = -1 // deadline arming is the only timer churn;
+		c.WriteTimeout = -1 // disable it so the measurement is exact
+	})
+	cl := dialBinary(t, srv)
+
+	const key, size = trace.Key(7), int64(128)
+	if _, err := cl.Set(key, size, binNoTime); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up both paths: grow client scratch, fault in bufio pages.
+	for i := 0; i < 32; i++ {
+		if _, err := cl.Get(key, size, binNoTime); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Set(key, size, binNoTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(500, func() {
+		hit, err := cl.Get(key, size, binNoTime)
+		if err != nil || !hit {
+			t.Fatalf("GET: hit=%v err=%v", hit, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("binary GET hit allocates %.2f times per op; want 0", avg)
+	}
+
+	avg = testing.AllocsPerRun(500, func() {
+		stored, err := cl.Set(key, size, binNoTime)
+		if err != nil || !stored {
+			t.Fatalf("SET: stored=%v err=%v", stored, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("binary same-size SET allocates %.2f times per op; want 0", avg)
+	}
+}

@@ -3,7 +3,9 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -17,11 +19,23 @@ import (
 // throughput. It survives a faulty server or network: every request
 // runs under an optional deadline, and Replay transparently
 // reconnects with exponential backoff when a request fails.
+//
+// A client speaks either the text protocol (Dial) or the binary
+// protocol (DialBinary); both support pipelining via Pipeline, which
+// keeps up to N requests in flight on the one connection.
 type Client struct {
-	addr string
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	addr   string
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	binary bool
+
+	// Reusable wire buffers: the binary request/reply frames and the
+	// text-encoding scratch, so a warmed-up round trip allocates
+	// nothing on the client side either.
+	frame   [binReqLen]byte
+	rep     [binRespLen]byte
+	scratch []byte
 
 	// Timeout bounds each request round trip (write + reply read);
 	// 0 means no deadline.
@@ -39,13 +53,26 @@ type Client struct {
 	Reconnects int64
 }
 
-// Dial connects to a server.
+// Dial connects to a server speaking the text protocol.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	return &Client{addr: addr, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// DialBinary connects to a server speaking the binary protocol (the
+// server routes on the first byte, so no handshake is needed). Get,
+// Set, and Pipeline then use binary frames; STATS and METRICS remain
+// text-protocol commands — use a separate text client for them.
+func DialBinary(addr string) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.binary = true
+	return c, nil
 }
 
 // armDeadline applies the per-request deadline to the connection (or
@@ -77,7 +104,12 @@ func (c *Client) reconnect() error {
 // closing the socket fails first.
 func (c *Client) Close() error {
 	c.armDeadline()
-	fmt.Fprintf(c.w, "QUIT\n")
+	if c.binary {
+		putBinReq(&c.frame, binVerbQuit, 0, 0, 0)
+		_, _ = c.w.Write(c.frame[:])
+	} else {
+		fmt.Fprintf(c.w, "QUIT\n")
+	}
 	flushErr := c.w.Flush()
 	if err := c.conn.Close(); err != nil {
 		return err
@@ -85,58 +117,103 @@ func (c *Client) Close() error {
 	return flushErr
 }
 
-// Get requests one object and reports whether it hit. The round trip
-// runs under the client's Timeout; it does not retry (see getRetry /
-// Replay for the self-healing path).
-func (c *Client) Get(key trace.Key, size int64, ts int64) (bool, error) {
-	c.armDeadline()
-	if ts >= 0 {
-		fmt.Fprintf(c.w, "GET %d %d %d\n", key, size, ts)
-	} else {
-		fmt.Fprintf(c.w, "GET %d %d\n", key, size)
+// appendOp appends op's wire encoding — a binary frame or a text
+// line, depending on the client's protocol — to buf and returns it.
+func (c *Client) appendOp(buf []byte, op Op) []byte {
+	if c.binary {
+		verb := binVerbGet
+		if op.Set {
+			verb = binVerbSet
+		}
+		putBinReq(&c.frame, verb, op.Key, op.Size, op.Time)
+		return append(buf, c.frame[:]...)
 	}
-	if err := c.w.Flush(); err != nil {
-		return false, err
+	if op.Set {
+		buf = append(buf, "SET "...)
+	} else {
+		buf = append(buf, "GET "...)
+	}
+	buf = strconv.AppendUint(buf, uint64(op.Key), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, op.Size, 10)
+	if op.Time >= 0 {
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, op.Time, 10)
+	}
+	return append(buf, '\n')
+}
+
+// readReply reads one in-order reply and reports whether it was
+// positive (HIT for a GET, STORED for a SET). The deadline is
+// re-armed whenever the read may block, so long pipelined runs are
+// bounded per reply, not per batch.
+func (c *Client) readReply(isSet bool) (bool, error) {
+	if c.binary {
+		if c.r.Buffered() < binRespLen {
+			c.armDeadline()
+		}
+		if _, err := io.ReadFull(c.r, c.rep[:]); err != nil {
+			return false, err
+		}
+		if c.rep[0] != binMagicResp {
+			return false, fmt.Errorf("client: bad reply magic 0x%02x", c.rep[0])
+		}
+		switch status := c.rep[1]; status {
+		case binStatusHit, binStatusStored:
+			return true, nil
+		case binStatusMiss, binStatusNotStored:
+			return false, nil
+		default:
+			return false, fmt.Errorf("client: server error status 0x%02x", status)
+		}
+	}
+	if c.r.Buffered() == 0 {
+		c.armDeadline()
 	}
 	line, err := c.r.ReadString('\n')
 	if err != nil {
 		return false, err
 	}
 	switch {
-	case strings.HasPrefix(line, "HIT"):
+	case !isSet && strings.HasPrefix(line, "HIT"):
 		return true, nil
-	case strings.HasPrefix(line, "MISS"):
+	case !isSet && strings.HasPrefix(line, "MISS"):
+		return false, nil
+	case isSet && strings.HasPrefix(line, "STORED"):
+		return true, nil
+	case isSet && strings.HasPrefix(line, "NOSTORED"):
 		return false, nil
 	default:
 		return false, fmt.Errorf("client: unexpected reply %q", strings.TrimSpace(line))
 	}
 }
 
+// Get requests one object and reports whether it hit. The round trip
+// runs under the client's Timeout; it does not retry (see getRetry /
+// Replay for the self-healing path).
+func (c *Client) Get(key trace.Key, size int64, ts int64) (bool, error) {
+	return c.roundTrip(Op{Key: key, Size: size, Time: ts})
+}
+
 // Set stores one object on the server (SET command) and reports
 // whether it was stored. The round trip runs under the client's
 // Timeout; it does not retry (see setRetry).
 func (c *Client) Set(key trace.Key, size int64, ts int64) (bool, error) {
+	return c.roundTrip(Op{Set: true, Key: key, Size: size, Time: ts})
+}
+
+// roundTrip issues one request and reads its reply under the
+// client's deadline.
+func (c *Client) roundTrip(op Op) (bool, error) {
 	c.armDeadline()
-	if ts >= 0 {
-		fmt.Fprintf(c.w, "SET %d %d %d\n", key, size, ts)
-	} else {
-		fmt.Fprintf(c.w, "SET %d %d\n", key, size)
+	c.scratch = c.appendOp(c.scratch[:0], op)
+	if _, err := c.w.Write(c.scratch); err != nil {
+		return false, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return false, err
 	}
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		return false, err
-	}
-	switch {
-	case strings.HasPrefix(line, "STORED"):
-		return true, nil
-	case strings.HasPrefix(line, "NOSTORED"):
-		return false, nil
-	default:
-		return false, fmt.Errorf("client: unexpected reply %q", strings.TrimSpace(line))
-	}
+	return c.readReply(op.Set)
 }
 
 // getRetry is Get plus recovery: on failure it reconnects with
@@ -182,8 +259,12 @@ func (c *Client) withRetry(do func() (bool, error)) (bool, error) {
 }
 
 // Metrics issues a METRICS command and returns the server's metric
-// snapshot as a name → value map.
+// snapshot as a name → value map. METRICS is a text-protocol command;
+// binary clients must use a separate text connection.
 func (c *Client) Metrics() (map[string]int64, error) {
+	if c.binary {
+		return nil, fmt.Errorf("client: METRICS is a text-protocol command; use a text client")
+	}
 	c.armDeadline()
 	fmt.Fprintf(c.w, "METRICS\n")
 	if err := c.w.Flush(); err != nil {
@@ -304,4 +385,98 @@ func (c *Client) Replay(tr *trace.Trace, curvePoints int) (*ReplayResult, error)
 	res.Retries = c.Retries - startRetries
 	res.Reconnects = c.Reconnects - startReconnects
 	return res, nil
+}
+
+// Op is one pipelined operation: a GET by default, a SET when Set is
+// true. Time < 0 lets the server's virtual clock stand in for a trace
+// timestamp.
+type Op struct {
+	Set  bool
+	Key  trace.Key
+	Size int64
+	Time int64
+}
+
+// PipelineStats summarizes one Pipeline run.
+type PipelineStats struct {
+	Requests int
+	Hits     int // positive GET replies
+	Stored   int // positive SET replies
+	Wall     time.Duration
+	// Per-request latency percentiles, measured from the moment a
+	// request is enqueued (so they include client-side batching).
+	P50Ns float64
+	P99Ns float64
+}
+
+// ReqPerSec returns the run's throughput.
+func (p *PipelineStats) ReqPerSec() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Requests) / p.Wall.Seconds()
+}
+
+// Pipeline issues ops keeping up to depth requests in flight on the
+// connection. Both protocols reply strictly in request order, so the
+// k-th reply answers the k-th op. Requests are batched: the window is
+// refilled (and flushed in one write) whenever it drops to half
+// depth, which pairs with the server's one-flush-per-burst reply
+// batching. depth <= 1 degenerates to strict request-response.
+func (c *Client) Pipeline(ops []Op, depth int) (PipelineStats, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	var st PipelineStats
+	sent := make([]int64, len(ops)) // enqueue times, ns
+	lat := make([]float64, 0, len(ops))
+	next, read := 0, 0
+	start := time.Now()
+	for read < len(ops) {
+		if inflight := next - read; next < len(ops) && (inflight == 0 || inflight <= depth/2) {
+			c.armDeadline()
+			for next < len(ops) && next-read < depth {
+				c.scratch = c.appendOp(c.scratch[:0], ops[next])
+				if _, err := c.w.Write(c.scratch); err != nil {
+					return st, fmt.Errorf("client: pipeline enqueue %d: %w", next, err)
+				}
+				sent[next] = time.Now().UnixNano()
+				next++
+			}
+			if err := c.w.Flush(); err != nil {
+				return st, fmt.Errorf("client: pipeline flush: %w", err)
+			}
+		}
+		ok, err := c.readReply(ops[read].Set)
+		if err != nil {
+			return st, fmt.Errorf("client: pipeline reply %d: %w", read, err)
+		}
+		lat = append(lat, float64(time.Now().UnixNano()-sent[read]))
+		if ok {
+			if ops[read].Set {
+				st.Stored++
+			} else {
+				st.Hits++
+			}
+		}
+		st.Requests++
+		read++
+	}
+	st.Wall = time.Since(start)
+	sort.Float64s(lat)
+	st.P50Ns = latPercentile(lat, 50)
+	st.P99Ns = latPercentile(lat, 99)
+	return st, nil
+}
+
+// latPercentile returns the p-th percentile of sorted samples.
+func latPercentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"raven/internal/trace"
+)
+
+// TestTextPipeliningBurst writes many commands in one raw write and
+// checks that every reply comes back in order, that the counters
+// reconcile, and that the server batched the replies into far fewer
+// flushes than requests.
+func TestTextPipeliningBurst(t *testing.T) {
+	srv := newTestServer(t, 1<<20)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 200
+	var burst strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&burst, "GET %d 10 %d\n", i%8, i+1) // 8 keys: misses then hits
+	}
+	if _, err := conn.Write([]byte(burst.String())); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	hits := 0
+	for i := 0; i < n; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		switch {
+		case strings.HasPrefix(line, "HIT "):
+			hits++
+		case strings.HasPrefix(line, "MISS "):
+		default:
+			t.Fatalf("reply %d: %q", i, line)
+		}
+	}
+	if hits != n-8 {
+		t.Errorf("hits = %d, want %d", hits, n-8)
+	}
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["server.requests_text"] != n || m["cache.requests"] != n {
+		t.Errorf("requests_text=%d cache.requests=%d, want %d", m["server.requests_text"], m["cache.requests"], n)
+	}
+	if m["cache.hits"] != int64(hits) {
+		t.Errorf("cache.hits=%d, want %d", m["cache.hits"], hits)
+	}
+	// One write per drained burst, not one per reply: the whole burst
+	// fits the read buffer, so this should be a handful of flushes.
+	if f := m["server.flushes"]; f >= n/2 {
+		t.Errorf("server.flushes = %d for %d pipelined requests; batching is not happening", f, n)
+	}
+}
+
+// TestClientPipeline runs the client's windowed pipelining mode over
+// both protocols and reconciles its accounting with the server's.
+func TestClientPipeline(t *testing.T) {
+	for _, proto := range []string{"text", "binary"} {
+		t.Run(proto, func(t *testing.T) {
+			srv := newTestServer(t, 1<<20)
+			var cl *Client
+			var err error
+			if proto == "binary" {
+				cl, err = DialBinary(srv.Addr())
+			} else {
+				cl, err = Dial(srv.Addr())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			const n = 500
+			ops := make([]Op, n)
+			for i := range ops {
+				ops[i] = Op{Key: trace.Key(i % 16), Size: 10, Time: int64(i + 1)}
+				if i%10 == 9 {
+					ops[i].Set = true
+				}
+			}
+			st, err := cl.Pipeline(ops, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Requests != n {
+				t.Errorf("Requests = %d, want %d", st.Requests, n)
+			}
+			if st.Hits == 0 || st.Stored == 0 {
+				t.Errorf("degenerate run: hits=%d stored=%d", st.Hits, st.Stored)
+			}
+			if st.ReqPerSec() <= 0 || st.P99Ns <= 0 || st.P50Ns > st.P99Ns {
+				t.Errorf("bad latency accounting: %+v", st)
+			}
+			sst := srv.Stats()
+			if got := sst.Requests + sst.Sets; got != n {
+				t.Errorf("server saw %d ops (%d gets + %d sets), want %d", got, sst.Requests, sst.Sets, n)
+			}
+			if int(sst.Hits) != st.Hits {
+				t.Errorf("server hits %d != client hits %d", sst.Hits, st.Hits)
+			}
+		})
+	}
+}
+
+// TestVclockRatchet is the regression test for policy time running
+// backwards: explicit timestamps must ratchet the virtual clock so a
+// later clockless request cannot be stamped before them.
+func TestVclockRatchet(t *testing.T) {
+	srv := newTestServer(t, 1<<20)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Get(1, 10, 1000); err != nil { // explicit ts=1000
+		t.Fatal(err)
+	}
+	if got := srv.vclock.Load(); got != 1000 {
+		t.Fatalf("vclock after explicit ts=1000: %d", got)
+	}
+	if _, err := cl.Get(2, 10, -1); err != nil { // clockless: must tick past 1000
+		t.Fatal(err)
+	}
+	if got := srv.vclock.Load(); got != 1001 {
+		t.Errorf("vclock after clockless request: %d, want 1001", got)
+	}
+	if _, err := cl.Get(3, 10, 500); err != nil { // stale explicit ts must not rewind
+		t.Fatal(err)
+	}
+	if got := srv.vclock.Load(); got != 1001 {
+		t.Errorf("vclock rewound to %d by a stale explicit timestamp", got)
+	}
+}
+
+// TestTextRejectsNegativeTime pins the "ERR bad time" bugfix: a
+// negative explicit timestamp used to parse as "no timestamp" and
+// silently fall back to the virtual clock.
+func TestTextRejectsNegativeTime(t *testing.T) {
+	srv := newTestServer(t, 1<<20)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+
+	if _, err := conn.Write([]byte("GET 1 100 -5\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "ERR bad time") {
+		t.Errorf("reply = %q, want ERR bad time", line)
+	}
+	if n := srv.Stats().Requests; n != 0 {
+		t.Errorf("malformed request reached the cache: requests=%d", n)
+	}
+	// The connection survives a bad timestamp (unlike a binary framing
+	// error, text lines keep their boundaries).
+	if _, err := conn.Write([]byte("GET 1 100 5\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "MISS ") {
+		t.Errorf("follow-up GET: %q, %v", line, err)
+	}
+
+	m := srv.Metrics().Snapshot()
+	for _, kv := range m {
+		if kv.Name == "server.bad_requests" && kv.Value != 1 {
+			t.Errorf("bad_requests = %d, want 1", kv.Value)
+		}
+	}
+}
+
+// TestMetricsSingleReply pins the torn-snapshot bugfix: the METRICS
+// reply must be built as one unit and sent through one write (one
+// PreReply fault point), not one send per metric line.
+func TestMetricsSingleReply(t *testing.T) {
+	var preReplies atomic.Int64
+	srv := newTestServer(t, 1<<20, func(c *Config) {
+		c.Faults = &Faults{PreReply: func() { preReplies.Add(1) }}
+	})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) == 0 {
+		t.Fatal("empty metrics snapshot")
+	}
+	if got := preReplies.Load(); got != 1 {
+		t.Errorf("METRICS hit %d reply fault points, want 1 (one write per snapshot)", got)
+	}
+}
+
+// TestMixedProtocolPipelines runs text and binary pipelined clients
+// concurrently against one server and reconciles the per-protocol
+// counters with the cache totals (the race detector covers the rest).
+func TestMixedProtocolPipelines(t *testing.T) {
+	srv := newTestServer(t, 1<<20)
+	const clients, per = 8, 300
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var cl *Client
+			var err error
+			if id%2 == 0 {
+				cl, err = DialBinary(srv.Addr())
+			} else {
+				cl, err = Dial(srv.Addr())
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			ops := make([]Op, per)
+			for j := range ops {
+				ops[j] = Op{Key: trace.Key((id*per + j) % 64), Size: 32, Time: -1, Set: j%5 == 4}
+			}
+			if _, err := cl.Pipeline(ops, 16); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(clients * per)
+	if got := m["server.requests_text"] + m["server.requests_binary"]; got != total {
+		t.Errorf("text+binary requests = %d, want %d", got, total)
+	}
+	if m["server.requests_binary"] != total/2 || m["server.requests_text"] != total/2 {
+		t.Errorf("protocol split text=%d binary=%d, want %d each",
+			m["server.requests_text"], m["server.requests_binary"], total/2)
+	}
+	if got := m["cache.requests"] + m["cache.sets"]; got != total {
+		t.Errorf("cache saw %d ops, want %d", got, total)
+	}
+}

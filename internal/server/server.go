@@ -1,12 +1,25 @@
 // Package server implements the prototype cache server used for the
 // paper's §5.4 system experiment — our stand-in for the Apache Traffic
-// Server integration. It serves a line-based text protocol over TCP:
+// Server integration. It serves two protocols on the same port,
+// selected per connection by the first byte (no text command starts
+// with the binary magic 0x80):
+//
+// Line-based text protocol:
 //
 //	GET <key> <size> [time]\n →  HIT <size>\n | MISS <size>\n
 //	SET <key> <size> [time]\n →  STORED <size>\n | NOSTORED <size>\n
 //	STATS\n                   →  STATS <requests> <hits> <reqBytes> <hitBytes>\n
 //	METRICS\n                 →  METRICS <n>\n followed by n "name value" lines
 //	QUIT\n                    →  connection close
+//
+// Binary protocol (binary.go): fixed 26-byte little-endian request
+// frames and 10-byte status replies, memcached-style. Both protocols
+// support pipelining — any number of requests may be in flight per
+// connection, replies come back in order, and the server batches
+// reply flushes (one write syscall per drained read burst, not one
+// per reply). All per-request parse/reply state lives in reusable
+// per-connection buffers, so the steady-state GET/SET serving path
+// performs zero heap allocations per request.
 //
 // A configurable origin delay is charged on every miss and a cache
 // delay on every request, modelling the testbed RTTs of §5.1.4 at a
@@ -38,9 +51,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +66,18 @@ import (
 // maxLineBytes bounds one protocol line; longer lines are answered
 // with "ERR line too long" and the connection is closed.
 const maxLineBytes = 1 << 16
+
+// defaultReadBuf is the per-connection read buffer; it bounds how
+// many pipelined requests are parsed (and their replies batched) per
+// read burst. Lines longer than the buffer still work — readLine
+// accumulates chunks up to maxLineBytes.
+const defaultReadBuf = 16 << 10
+
+// replyBufBytes is the per-connection reply buffer. It comfortably
+// holds the replies of a full read burst plus a METRICS snapshot, so
+// the batched-flush path (not bufio's deadline-less auto-flush)
+// decides when bytes hit the wire.
+const replyBufBytes = 32 << 10
 
 // Default lifecycle bounds applied when the corresponding Config field
 // is zero. A negative Config value disables the bound entirely.
@@ -107,6 +132,11 @@ type Config struct {
 	// then waits indefinitely, the pre-hardening behavior).
 	DrainTimeout time.Duration
 
+	// ReadBuf is the per-connection read buffer in bytes (0 applies
+	// defaultReadBuf). Bigger buffers let deeper pipelines batch into
+	// fewer reply flushes at the cost of memory per connection.
+	ReadBuf int
+
 	// Faults injects failures for stress testing; nil in production.
 	Faults *Faults
 }
@@ -119,6 +149,18 @@ func (c *Config) writeTimeout() time.Duration { return defaulted(c.WriteTimeout,
 
 // drainTimeout returns the effective drain bound (0 = wait forever).
 func (c *Config) drainTimeout() time.Duration { return defaulted(c.DrainTimeout, defaultDrainTimeout) }
+
+// readBuf returns the effective per-connection read buffer size,
+// floored so a full binary frame always fits.
+func (c *Config) readBuf() int {
+	if c.ReadBuf <= 0 {
+		return defaultReadBuf
+	}
+	if c.ReadBuf < 2*binReqLen {
+		return 2 * binReqLen
+	}
+	return c.ReadBuf
+}
 
 func defaulted(d, def time.Duration) time.Duration {
 	if d == 0 {
@@ -143,6 +185,14 @@ type serverMetrics struct {
 	badRequests   *obs.Counter
 	getLatency    *obs.Histogram
 	setLatency    *obs.Histogram
+
+	// Per-protocol traffic split (the text/binary sniff) and the
+	// batched-flush count: flushes ≪ requests under pipelining.
+	connsText      *obs.Counter
+	connsBinary    *obs.Counter
+	requestsText   *obs.Counter
+	requestsBinary *obs.Counter
+	flushes        *obs.Counter
 }
 
 // Server is a TCP cache server.
@@ -221,6 +271,12 @@ func New(cfg Config) (*Server, error) {
 			badRequests:   reg.Counter("server.bad_requests"),
 			getLatency:    reg.Histogram("server.get_latency_ns"),
 			setLatency:    reg.Histogram("server.set_latency_ns"),
+
+			connsText:      reg.Counter("server.conns_text"),
+			connsBinary:    reg.Counter("server.conns_binary"),
+			requestsText:   reg.Counter("server.requests_text"),
+			requestsBinary: reg.Counter("server.requests_binary"),
+			flushes:        reg.Counter("server.flushes"),
 		},
 	}
 	cacheObs := &obs.ShardedCacheObs{}
@@ -385,6 +441,94 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connIO bundles one connection's reusable I/O state. Every buffer is
+// allocated once at accept time and reused for each request, so the
+// steady-state serving path (text and binary GET/SET) performs zero
+// heap allocations per request — asserted by TestServingPathAllocFree.
+type connIO struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	met  *serverMetrics
+
+	idle  time.Duration // read deadline, armed when a read may block
+	write time.Duration // write deadline, armed per flush
+
+	line   []byte          // accumulates one text line across ReadSlice chunks
+	fields [][]byte        // reused per-line field views into line
+	out    []byte          // reply-building scratch
+	hdr    [binReqLen]byte // binary request frame
+	rep    [binRespLen]byte
+
+	sawEOF bool // a final unterminated line was already served
+}
+
+// flush writes the buffered replies to the connection under the write
+// deadline and reports whether the peer is still reachable.
+func (c *connIO) flush() bool {
+	if c.bw.Buffered() == 0 {
+		return true
+	}
+	if c.write > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.write))
+	}
+	c.met.flushes.Inc()
+	return c.bw.Flush() == nil
+}
+
+// maybeFlush flushes when the read side has drained (the handler is
+// about to block, so the client is waiting on these replies) or the
+// reply buffer is nearly full. Mid-burst replies stay buffered: a
+// pipelined batch costs one write syscall, not one per reply.
+func (c *connIO) maybeFlush() bool {
+	if c.br.Buffered() == 0 || c.bw.Available() < 128 {
+		return c.flush()
+	}
+	return true
+}
+
+// errLineTooLong marks a text request line exceeding maxLineBytes.
+var errLineTooLong = errors.New("server: line too long")
+
+// readLine reads one LF-terminated request line into c.line, reusing
+// its backing array. The idle deadline is armed whenever the read may
+// block (nothing buffered), so a slow-loris that trickles bytes is
+// still reaped. A final unterminated line before EOF is served once,
+// matching the previous bufio.Scanner behavior.
+func (c *connIO) readLine() ([]byte, error) {
+	if c.sawEOF {
+		return nil, io.EOF
+	}
+	c.line = c.line[:0]
+	for {
+		if c.br.Buffered() == 0 && c.idle > 0 {
+			_ = c.conn.SetReadDeadline(time.Now().Add(c.idle))
+		}
+		chunk, err := c.br.ReadSlice('\n')
+		if len(c.line)+len(chunk) > maxLineBytes {
+			return nil, errLineTooLong
+		}
+		c.line = append(c.line, chunk...)
+		switch err {
+		case nil:
+			return c.line, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(c.line) > 0 {
+				c.sawEOF = true
+				return c.line, nil
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// handle serves one connection: it sniffs the protocol from the first
+// byte (the binary request magic can never start a text command) and
+// dispatches to the text or binary loop for the connection's lifetime.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.removeConn(conn)
@@ -393,135 +537,215 @@ func (s *Server) handle(conn net.Conn) {
 	if f := s.cfg.Faults; f != nil && f.ReadErr != nil {
 		r = &faultReader{r: r, inject: f.ReadErr}
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 4096), maxLineBytes)
-	w := bufio.NewWriter(conn)
-	idle := s.cfg.idleTimeout()
-	write := s.cfg.writeTimeout()
-	// send writes one response line and reports whether the client is
-	// still reachable; a failed flush ends the handler (the peer is
-	// gone, and bufio makes the error sticky anyway).
-	send := func(format string, args ...interface{}) bool {
-		if f := s.cfg.Faults; f != nil && f.PreReply != nil {
-			f.PreReply()
-		}
-		fmt.Fprintf(w, format, args...)
-		if write > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(write))
-		}
-		return w.Flush() == nil
+	c := &connIO{
+		conn:   conn,
+		br:     bufio.NewReaderSize(r, s.cfg.readBuf()),
+		bw:     bufio.NewWriterSize(conn, replyBufBytes),
+		met:    &s.met,
+		idle:   s.cfg.idleTimeout(),
+		write:  s.cfg.writeTimeout(),
+		line:   make([]byte, 0, 256),
+		fields: make([][]byte, 0, 8),
+		out:    make([]byte, 0, 64),
 	}
-	// A virtual clock for the policy: the server has no trace
-	// timestamps, so request count stands in for time.
+	if c.idle > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(c.idle))
+	}
+	first, err := c.br.Peek(1)
+	if err != nil {
+		s.classifyReadErr(err)
+		return
+	}
+	if first[0] == binMagicReq {
+		s.met.connsBinary.Inc()
+		s.handleBinary(c)
+		return
+	}
+	s.met.connsText.Inc()
+	s.handleText(c)
+}
+
+// handleText serves one text-protocol connection. Requests are parsed
+// in place from the connection's reusable line buffer and replies are
+// built in its scratch buffer — no per-request allocation — with
+// batched flushing shared with the binary path.
+func (s *Server) handleText(c *connIO) {
+	// Arm the idle deadline for the first line; readLine re-arms it
+	// whenever a later read may block, and connIO.flush arms the write
+	// deadline per batched flush.
+	if c.idle > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.idle))
+	}
 	for {
-		// Arm the idle deadline before each blocking read: a client
-		// that trickles bytes without completing a line is reaped.
-		if idle > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		// Flush pending replies before a read that may block: the
+		// client is waiting on them before it sends more.
+		if !c.maybeFlush() {
+			return
 		}
-		if !sc.Scan() {
-			break
+		line, err := c.readLine()
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				// An oversized request line: tell the client why
+				// before closing instead of silently dropping the
+				// connection.
+				s.met.lineTooLong.Inc()
+				c.out = append(c.out[:0], "ERR line too long\n"...)
+				_, _ = c.bw.Write(c.out)
+				c.flush()
+			} else {
+				s.classifyReadErr(err)
+			}
+			return
 		}
-		line := strings.TrimSpace(sc.Text())
-		fields := strings.Fields(line)
+		c.fields = splitFields(line, c.fields[:0])
+		fields := c.fields
 		if len(fields) == 0 {
 			continue
 		}
-		switch verb := strings.ToUpper(fields[0]); verb {
-		case "GET", "SET":
+		verb := fields[0]
+		switch {
+		case verbIs(verb, "GET"), verbIs(verb, "SET"):
+			isGet := verbIs(verb, "GET")
 			if len(fields) != 3 && len(fields) != 4 {
 				s.met.badRequests.Inc()
-				if !send("ERR want: %s <key> <size> [time]\n", verb) {
+				if isGet {
+					c.out = append(c.out[:0], "ERR want: GET <key> <size> [time]\n"...)
+				} else {
+					c.out = append(c.out[:0], "ERR want: SET <key> <size> [time]\n"...)
+				}
+				if _, err := c.bw.Write(c.out); err != nil {
 					return
 				}
 				continue
 			}
-			key, err1 := strconv.ParseUint(fields[1], 10, 64)
-			size, err2 := strconv.ParseInt(fields[2], 10, 64)
-			if err1 != nil || err2 != nil || size <= 0 {
+			key, ok1 := parseUint(fields[1])
+			size, ok2 := parseUint(fields[2])
+			if !ok1 || !ok2 || size == 0 || size > math.MaxInt64 {
 				s.met.badRequests.Inc()
-				if !send("ERR bad key or size\n") {
+				c.out = append(c.out[:0], "ERR bad key or size\n"...)
+				if _, err := c.bw.Write(c.out); err != nil {
 					return
 				}
 				continue
 			}
-			var ts int64 = -1
+			ts := int64(-1)
 			if len(fields) == 4 {
-				var err error
-				ts, err = strconv.ParseInt(fields[3], 10, 64)
-				if err != nil {
+				// A negative or otherwise malformed explicit timestamp
+				// is rejected outright — it must not silently fall
+				// back to the virtual clock and masquerade as a
+				// clockless client.
+				t, ok := parseUint(fields[3])
+				if !ok || t > math.MaxInt64 {
 					s.met.badRequests.Inc()
-					if !send("ERR bad time\n") {
+					c.out = append(c.out[:0], "ERR bad time\n"...)
+					if _, err := c.bw.Write(c.out); err != nil {
 						return
 					}
 					continue
 				}
+				ts = int64(t)
 			}
+			s.met.requestsText.Inc()
 			t0 := time.Now()
 			var reply string
 			var hist *obs.Histogram
-			if verb == "GET" {
-				hit := s.serve(trace.Key(key), size, ts)
+			if isGet {
+				hit := s.serve(trace.Key(key), int64(size), ts)
 				if s.cfg.CacheDelay > 0 {
 					time.Sleep(s.cfg.CacheDelay)
 				}
 				if !hit && s.cfg.OriginDelay > 0 {
 					time.Sleep(s.cfg.OriginDelay)
 				}
-				reply, hist = "MISS", s.met.getLatency
+				reply, hist = "MISS ", s.met.getLatency
 				if hit {
-					reply = "HIT"
+					reply = "HIT "
 				}
 			} else {
-				stored := s.serveSet(trace.Key(key), size, ts)
+				stored := s.serveSet(trace.Key(key), int64(size), ts)
 				if s.cfg.CacheDelay > 0 {
 					time.Sleep(s.cfg.CacheDelay)
 				}
-				reply, hist = "NOSTORED", s.met.setLatency
+				reply, hist = "NOSTORED ", s.met.setLatency
 				if stored {
-					reply = "STORED"
+					reply = "STORED "
 				}
 			}
-			ok := send("%s %d\n", reply, size)
+			if f := s.cfg.Faults; f != nil && f.PreReply != nil {
+				f.PreReply()
+			}
+			c.out = append(c.out[:0], reply...)
+			c.out = strconv.AppendUint(c.out, size, 10)
+			c.out = append(c.out, '\n')
+			_, err := c.bw.Write(c.out)
 			hist.Observe(time.Since(t0).Nanoseconds())
-			if !ok {
+			if err != nil {
 				return
 			}
-		case "STATS":
+		case verbIs(verb, "STATS"):
 			st := s.Stats()
-			if !send("STATS %d %d %d %d\n", st.Requests, st.Hits, st.ReqBytes, st.HitBytes) {
+			if f := s.cfg.Faults; f != nil && f.PreReply != nil {
+				f.PreReply()
+			}
+			c.out = append(c.out[:0], "STATS "...)
+			c.out = strconv.AppendInt(c.out, st.Requests, 10)
+			c.out = append(c.out, ' ')
+			c.out = strconv.AppendInt(c.out, st.Hits, 10)
+			c.out = append(c.out, ' ')
+			c.out = strconv.AppendInt(c.out, st.ReqBytes, 10)
+			c.out = append(c.out, ' ')
+			c.out = strconv.AppendInt(c.out, st.HitBytes, 10)
+			c.out = append(c.out, '\n')
+			if _, err := c.bw.Write(c.out); err != nil {
 				return
 			}
-		case "METRICS":
+		case verbIs(verb, "METRICS"):
+			// The whole snapshot is built into one buffer and handed
+			// to the writer as a unit: a mid-snapshot write fault
+			// kills the connection instead of leaving the client a
+			// torn half-snapshot, and the reply costs one flush.
 			kvs := s.metrics.Snapshot()
-			if !send("METRICS %d\n", len(kvs)) {
+			if f := s.cfg.Faults; f != nil && f.PreReply != nil {
+				f.PreReply()
+			}
+			c.out = append(c.out[:0], "METRICS "...)
+			c.out = strconv.AppendInt(c.out, int64(len(kvs)), 10)
+			c.out = append(c.out, '\n')
+			for _, kv := range kvs {
+				c.out = append(c.out, kv.Name...)
+				c.out = append(c.out, ' ')
+				c.out = strconv.AppendInt(c.out, kv.Value, 10)
+				c.out = append(c.out, '\n')
+			}
+			if _, err := c.bw.Write(c.out); err != nil {
 				return
 			}
-			for _, kv := range kvs {
-				if !send("%s %d\n", kv.Name, kv.Value) {
-					return
-				}
+			if !c.flush() {
+				return
 			}
-		case "QUIT":
+		case verbIs(verb, "QUIT"):
+			c.flush()
 			return
 		default:
 			s.met.badRequests.Inc()
-			if !send("ERR unknown command %q\n", fields[0]) {
+			c.out = fmt.Appendf(c.out[:0], "ERR unknown command %q\n", verb)
+			if _, err := c.bw.Write(c.out); err != nil {
 				return
 			}
 		}
 	}
-	switch err := sc.Err(); {
-	case err == nil:
-		// clean EOF
-	case errors.Is(err, bufio.ErrTooLong):
-		// An oversized request line: tell the client why before
-		// closing instead of silently dropping the connection.
-		s.met.lineTooLong.Inc()
-		send("ERR line too long\n")
+}
+
+// classifyReadErr counts why a connection's read loop ended: reaped by
+// the idle deadline, a clean close, or a real read failure.
+func (s *Server) classifyReadErr(err error) {
+	switch {
+	case err == nil, errors.Is(err, io.EOF):
+		// clean close
 	case isTimeout(err):
 		s.met.idleClosed.Inc()
 	default:
+		// Includes io.ErrUnexpectedEOF: a truncated binary frame.
 		s.met.readErrors.Inc()
 	}
 }
@@ -533,24 +757,91 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// serve handles one lookup on the key's shard; only that shard's lock
-// is held. ts < 0 substitutes a request-count virtual clock so
-// learning policies' training windows still advance for clients that
-// do not send trace timestamps.
-func (s *Server) serve(key trace.Key, size int64, ts int64) bool {
-	if ts < 0 {
-		ts = s.vclock.Add(1)
+// asciiSpace reports whether b is text-protocol field whitespace.
+func asciiSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\r' || b == '\n' }
+
+// splitFields splits line on ASCII whitespace into dst, reusing its
+// capacity; the returned views alias line.
+func splitFields(line []byte, dst [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && asciiSpace(line[i]) {
+			i++
+		}
+		start := i
+		for i < len(line) && !asciiSpace(line[i]) {
+			i++
+		}
+		if i > start {
+			dst = append(dst, line[start:i])
+		}
 	}
-	req := trace.Request{Time: ts, Key: key, Size: size, Next: trace.NoNext}
+	return dst
+}
+
+// verbIs reports a case-insensitive match of b against the upper-case
+// ASCII verb.
+func verbIs(b []byte, verb string) bool {
+	if len(b) != len(verb) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if b[i]&^byte(0x20) != verb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseUint parses an unsigned decimal from b. It rejects empty
+// input, any non-digit (including a sign), and overflow.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var v uint64
+	for _, ch := range b {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		d := uint64(ch - '0')
+		if v > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+// now resolves a request's policy timestamp. Explicit timestamps
+// ratchet the virtual clock forward (never backward), so mixed
+// timestamped and clockless clients keep policy time monotone —
+// learning-policy training windows must never observe time running
+// in reverse. Clockless requests (ts < 0) tick the clock.
+func (s *Server) now(ts int64) int64 {
+	if ts < 0 {
+		return s.vclock.Add(1)
+	}
+	for {
+		cur := s.vclock.Load()
+		if ts <= cur || s.vclock.CompareAndSwap(cur, ts) {
+			return ts
+		}
+	}
+}
+
+// serve handles one lookup on the key's shard; only that shard's lock
+// is held. ts < 0 substitutes the virtual clock so learning policies'
+// training windows still advance for clients that do not send trace
+// timestamps; explicit timestamps ratchet that clock (see now).
+func (s *Server) serve(key trace.Key, size int64, ts int64) bool {
+	req := trace.Request{Time: s.now(ts), Key: key, Size: size, Next: trace.NoNext}
 	return s.engine.Handle(req)
 }
 
 // serveSet stores one object on the key's shard (see cache.Cache.Set)
 // and reports whether it is resident afterwards.
 func (s *Server) serveSet(key trace.Key, size int64, ts int64) bool {
-	if ts < 0 {
-		ts = s.vclock.Add(1)
-	}
-	req := trace.Request{Time: ts, Key: key, Size: size, Next: trace.NoNext}
+	req := trace.Request{Time: s.now(ts), Key: key, Size: size, Next: trace.NoNext}
 	return s.engine.Set(req)
 }

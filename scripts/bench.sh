@@ -4,11 +4,13 @@
 # Writes BENCH_<date>.json into the repo root (override with -out DIR).
 # Pass -quick for a fast smoke run; see cmd/ravenbench for all flags.
 # The report includes the server shard sweep (1/2/4/8 shards x 8
-# concurrent clients); shard speedups need real cores, so read it next
-# to the recorded num_cpu/gomaxprocs fields.
+# concurrent clients) and the pipelined sweep (binary protocol,
+# clients x pipeline depth); shard speedups need real cores, so read
+# them next to the recorded num_cpu/gomaxprocs fields.
 #
 # Compare two reports (exits non-zero on a >10% eviction-latency
-# regression in evict_decision or evict_decision_p99):
+# regression in evict_decision/evict_decision_p99, or a >10%
+# throughput drop in pipelined_sweep):
 #
 #   scripts/bench.sh -compare BENCH_old.json BENCH_new.json
 set -euo pipefail

@@ -15,8 +15,11 @@
 #                         plain, -tests, a double-run -json byte-equality
 #                         check, and a baseline round-trip that fails if
 #                         .ravenlint-baseline.json is stale)
-#   6. benchmark smoke   (benchmarks still compile and run)
-#   7. checkpoint smoke  (a corrupted newest checkpoint generation is
+#   6. alloc assertions  (eviction decisions and the binary serving
+#                         path both hold their 0 allocs/op budgets)
+#   7. benchmark smoke   (benchmarks still compile and run, including
+#                         the pipelined serving path over the wire)
+#   8. checkpoint smoke  (a corrupted newest checkpoint generation is
 #                         skipped on resume, end to end through raven-sim)
 #
 # Any failure aborts with a nonzero exit. CI runs exactly this script,
@@ -84,10 +87,14 @@ rm -rf "${LINT_DIR}"
 echo "==> eviction alloc sweep (0 allocs/op at Workers 1,2,4,8)"
 go test -count=1 -run 'TestEvictionPathAllocFree|TestFastPathAllocFree' ./internal/core/
 
+echo "==> serving-path alloc assertion (binary GET/SET, 0 allocs/op)"
+go test -count=1 -run 'TestServingPathAllocFree' ./internal/server/
+
 # Covers BenchmarkEvictDecisionFast (the ScoreCache fast path) alongside
-# the legacy decision and kernel benchmarks.
+# the legacy decision and kernel benchmarks, plus the pipelined serving
+# path over the wire (BenchmarkServing).
 echo "==> benchmark smoke (-benchtime=1x)"
-go test -run='^$' -bench=. -benchtime=1x ./internal/nn/... ./internal/core/... >/dev/null
+go test -run='^$' -bench=. -benchtime=1x ./internal/nn/... ./internal/core/... ./internal/server/... >/dev/null
 
 echo "==> checkpoint corruption smoke"
 CKPT_DIR="$(mktemp -d)"
