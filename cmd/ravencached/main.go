@@ -11,13 +11,15 @@
 //	SET <key> <size> [time]  →  STORED <size> | NOSTORED <size>
 //	STATS                    →  STATS <requests> <hits> <reqBytes> <hitBytes>
 //	METRICS                  →  METRICS <n> followed by n "name value" lines
+//	PING                     →  PONG (liveness probe; not counted as a request)
 //	QUIT
 //
 // The same port also speaks a fixed-frame binary protocol (memcached
 // style): a connection whose first byte is 0x80 is served 26-byte
-// little-endian request frames (verb, key, size, time) with 10-byte
-// status replies, pipelined, on a zero-allocation path. See
-// internal/server/binary.go for the frame layout. -readbuf sizes the
+// little-endian request frames (verb, key, size, time — GET, SET,
+// QUIT, quiet GETQ, PING) with 10-byte status replies, pipelined, on
+// a zero-allocation path. See internal/server/binary.go for the frame
+// layout. -readbuf sizes the
 // per-connection read buffer, which bounds how many pipelined
 // requests batch into one reply flush.
 //
@@ -60,6 +62,8 @@ func run() int {
 		polName  = flag.String("policy", "raven", "eviction policy name")
 		shards   = flag.Int("shards", 1, "cache shards, one policy instance each (rounded up to a power of two)")
 		window   = flag.Int64("window", 100000, "learning-policy training window in trace ticks")
+		node     = flag.Int("node", 0, "this node's index in a ravenrouter fleet (derives per-node seeds and checkpoint dirs)")
+		nodes    = flag.Int("nodes", 1, "fleet size; 1 means standalone (no per-node derivation)")
 		cacheMS  = flag.Int("cachedelay", 0, "simulated per-request delay (ms)")
 		originMS = flag.Int("origindelay", 0, "simulated per-miss origin delay (ms)")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -86,6 +90,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ravencached:", err)
 		return 1
 	}
+	if *node < 0 || *nodes < 1 || *node >= *nodes {
+		fmt.Fprintf(os.Stderr, "ravencached: -node %d out of range for -nodes %d\n", *node, *nodes)
+		return 1
+	}
 	perShard := factory.PerShard(policy.Options{
 		Capacity:        *capacity,
 		TrainWindow:     *window,
@@ -96,7 +104,7 @@ func run() int {
 		ScoreCache:      *scoreCache,
 		Inference32:     *inference32,
 		DecisionBudget:  *budget,
-	}, *shards)
+	}.PerNode(*node, *nodes), *shards)
 	// Capture each shard's policy as it is built so checkpoint-resume
 	// status can be reported per shard below.
 	var built []cache.Policy
@@ -158,6 +166,14 @@ func run() int {
 		}
 		st := srv.Stats()
 		fmt.Printf("\nravencached: %d requests, OHR %.4f, BHR %.4f\n", st.Requests, st.OHR(), st.BHR())
+		// Final health-machine state per shard (the server is drained,
+		// so the policies are quiescent): operators and the chaos
+		// harness read this to tell a clean fallback from a crash.
+		for shard, p := range built {
+			if r, ok := p.(*core.Raven); ok {
+				fmt.Printf("ravencached: shard%d final health: %s\n", shard, r.Health())
+			}
+		}
 		fmt.Printf("ravencached: final metrics: %s\n", srv.Metrics().Line())
 	}()
 
@@ -180,7 +196,15 @@ func run() int {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
-	fmt.Printf("\nravencached: received %v, draining\n", got)
-	return 0
+	select {
+	case got := <-sig:
+		fmt.Printf("\nravencached: received %v, draining\n", got)
+		return 0
+	case <-srv.Fatal():
+		// The accept loop died permanently (listener revoked, fd
+		// exhaustion that never cleared): the server can't serve, so
+		// exit non-zero and let the supervisor restart it.
+		fmt.Fprintln(os.Stderr, "ravencached: fatal:", srv.FatalErr())
+		return 1
+	}
 }

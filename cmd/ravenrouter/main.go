@@ -1,0 +1,168 @@
+// Command ravenrouter fronts a fleet of ravencached nodes with the
+// fault-tolerant cluster tier (internal/cluster): a deterministic
+// consistent-hash ring routes every key to its owner, per-node circuit
+// breakers and PING health probes eject dead nodes and re-admit
+// recovered ones, failed requests retry with backoff and fail over to
+// ring replicas, and hot keys (count-min sketch top-k) are replicated
+// to their first successor so a single node death doesn't cold-start
+// the head of the popularity distribution.
+//
+// The router speaks the same wire protocols as ravencached itself —
+// text and binary, pipelined, with GETQ/PING — because it embeds the
+// same hardened server front-end; clients cannot tell a router from a
+// node. STATS aggregates the router's own view; METRICS additionally
+// serves the router.* health/failover metrics and per-node latency
+// histograms.
+//
+// Usage:
+//
+//	ravenrouter -addr :7071 -cluster 127.0.0.1:7072,127.0.0.1:7073
+//
+// Exit status is non-zero when the listener cannot be bound or the
+// accept loop dies permanently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"raven/internal/cluster"
+	"raven/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run carries the real main body so deferred cleanup (final stats,
+// drain, router shutdown) executes before the process exits.
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7071", "listen address")
+		nodeList = flag.String("cluster", "", "comma-separated ravencached node addresses (required)")
+		seed     = flag.Int64("seed", 42, "ring placement seed; all routers of a fleet must agree")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per member (0 = 128)")
+		replicas = flag.Int("replicas", 0, "ring lookup fan-out: owner + failover successors (0 = 2)")
+
+		timeout  = flag.Duration("timeout", 0, "per-backend-request timeout (0 = 250ms)")
+		retries  = flag.Int("retries", 0, "extra attempts per request across replicas (0 = 2, negative = none)")
+		backoff  = flag.Duration("backoff", 0, "initial retry backoff, doubling per attempt (0 = 5ms)")
+		probe    = flag.Duration("probe", 0, "health-probe interval (0 = 250ms, negative = off)")
+		failLim  = flag.Int("faillimit", 0, "consecutive failures per breaker rung (0 = 3)")
+		halfOpen = flag.Duration("halfopen", 0, "cool-down before an ejected node is probed (0 = 1s)")
+		hotFreq  = flag.Int("hotfreq", 0, "sketch estimate at which a key is replicated (0 = 16, negative = off)")
+		pool     = flag.Int("pool", 0, "idle connections pooled per node (0 = 4)")
+
+		maxConns     = flag.Int("maxconns", 0, "max concurrent client connections (0 = unlimited)")
+		idleTimeout  = flag.Duration("idletimeout", 0, "per-request read deadline (0 = 2m default, negative = off)")
+		writeTimeout = flag.Duration("writetimeout", 0, "per-response write deadline (0 = 30s default, negative = off)")
+		drain        = flag.Duration("drain", 0, "graceful drain bound on shutdown (0 = 5s default)")
+		readBuf      = flag.Int("readbuf", 0, "per-connection read buffer in bytes (0 = 16KiB default)")
+		metricsEvery = flag.Duration("metricsevery", 0, "log a metrics snapshot line this often (0 = off)")
+	)
+	flag.Parse()
+
+	var nodes []string
+	for _, a := range strings.Split(*nodeList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			nodes = append(nodes, a)
+		}
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "ravenrouter: -cluster requires at least one node address")
+		return 1
+	}
+
+	router, err := cluster.New(cluster.Config{
+		Nodes:          nodes,
+		Seed:           *seed,
+		VNodes:         *vnodes,
+		Replicas:       *replicas,
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+		RetryBackoff:   *backoff,
+		ProbeInterval:  *probe,
+		FailLimit:      *failLim,
+		HalfOpenAfter:  *halfOpen,
+		HotKeyMinFreq:  *hotFreq,
+		PoolSize:       *pool,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ravenrouter:", err)
+		return 1
+	}
+	srv, err := server.New(server.Config{
+		Addr:         *addr,
+		Backend:      router,
+		Registry:     router.Metrics(), // router.* rides the same METRICS
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drain,
+		ReadBuf:      *readBuf,
+	})
+	if err != nil {
+		_ = router.Close()
+		fmt.Fprintln(os.Stderr, "ravenrouter:", err)
+		return 1
+	}
+	fmt.Printf("ravenrouter: fleet=%d replicas=%d ring=%016x listening on %s\n",
+		len(nodes), router.Replicas(), router.Fingerprint(), srv.Addr())
+
+	// Drain the front-end first (stats then reflect every served
+	// request), then the router, then report.
+	defer func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ravenrouter: close:", err)
+		}
+		if err := router.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ravenrouter: router close:", err)
+		}
+		st := srv.Stats()
+		fmt.Printf("\nravenrouter: %d requests, OHR %.4f, BHR %.4f\n", st.Requests, st.OHR(), st.BHR())
+		states := router.NodeStates()
+		names := make([]string, 0, len(states))
+		for n := range states {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("ravenrouter: node %s final state: %s\n", n, states[n])
+		}
+		fmt.Printf("ravenrouter: final metrics: %s\n", srv.Metrics().Line())
+	}()
+
+	stopTicker := make(chan struct{})
+	defer close(stopTicker)
+	if *metricsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*metricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopTicker:
+					return
+				case <-t.C:
+					fmt.Printf("ravenrouter: metrics: %s\n", srv.Metrics().Line())
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Printf("\nravenrouter: received %v, draining\n", got)
+		return 0
+	case <-srv.Fatal():
+		fmt.Fprintln(os.Stderr, "ravenrouter: fatal:", srv.FatalErr())
+		return 1
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a node's circuit-breaker state. It deliberately mirrors the
+// policy's model-lifecycle machine (internal/core.Health): the router
+// treats a failing node exactly like the policy treats a diverging
+// model — degrade first, fall back after repeated trips, recover
+// automatically once the subject proves itself again.
+//
+//	Healthy ──fail streak──▶ Degraded ──fail streak──▶ Fallback
+//	   ▲                         │                         │
+//	   └──────── success ────────┴──── half-open probe ────┘
+//
+// Healthy and Degraded nodes are routed (Degraded is one streak from
+// ejection); Fallback nodes are ejected from routing and only half-open
+// recovery probes reach them.
+type State int32
+
+// Breaker states, ordered by severity. The numeric values are exported
+// via the per-node router.node<i>.state gauges.
+const (
+	// Healthy: the node serves traffic.
+	Healthy State = iota
+	// Degraded: still routed, but one more failure streak ejects it.
+	Degraded
+	// Fallback: ejected; only half-open probes are allowed until one
+	// succeeds.
+	Fallback
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Degraded:
+		return "degraded"
+	case Fallback:
+		return "fallback"
+	default:
+		return "healthy"
+	}
+}
+
+// Breaker is one node's failure ladder. All methods are safe for
+// concurrent use: request goroutines report outcomes while the probe
+// loop asks for half-open admission.
+type Breaker struct {
+	failLimit     int           // consecutive failures per rung
+	halfOpenAfter time.Duration // cool-down before a Fallback node is probed
+	now           func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive failures on the current rung
+	ejected  time.Time
+	probing  bool // a half-open probe is in flight
+	ejects   int64
+	recovers int64
+}
+
+// NewBreaker builds a breaker that climbs one rung per failLimit
+// consecutive failures and allows a recovery probe halfOpenAfter after
+// ejection. now is injectable for deterministic tests; nil uses the
+// wall clock.
+func NewBreaker(failLimit int, halfOpenAfter time.Duration, now func() time.Time) *Breaker {
+	if failLimit <= 0 {
+		failLimit = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{failLimit: failLimit, halfOpenAfter: halfOpenAfter, now: now}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counts returns how often the breaker ejected and recovered a node.
+func (b *Breaker) Counts() (ejects, recovers int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ejects, b.recovers
+}
+
+// Allow reports whether regular traffic may be routed to the node.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != Fallback
+}
+
+// AllowProbe admits at most one half-open recovery probe per cool-down
+// window to an ejected node. The probe's outcome must be reported via
+// Success or Failure, which closes the half-open slot either way.
+func (b *Breaker) AllowProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Fallback || b.probing {
+		return false
+	}
+	if b.now().Sub(b.ejected) < b.halfOpenAfter {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful request or probe: any success restores
+// Healthy from any state, exactly like a completed training restores
+// the policy's health machine.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Fallback {
+		b.recovers++
+	}
+	b.state = Healthy
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed request or probe and climbs the ladder after
+// failLimit consecutive failures on the current rung. A failed
+// half-open probe re-arms the cool-down.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	if b.fails < b.failLimit {
+		return
+	}
+	b.fails = 0
+	switch b.state {
+	case Healthy:
+		b.state = Degraded
+	case Degraded:
+		b.state = Fallback
+		b.ejected = b.now()
+		b.ejects++
+	case Fallback:
+		b.ejected = b.now() // re-arm the half-open cool-down
+	}
+}
+
+// Eject forces the node straight to Fallback (the router uses it when a
+// node is being drained). The half-open clock starts now.
+func (b *Breaker) Eject() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Fallback {
+		b.ejects++
+	}
+	b.state = Fallback
+	b.fails = 0
+	b.probing = false
+	b.ejected = b.now()
+}

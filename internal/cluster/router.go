@@ -1,0 +1,550 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"raven/internal/cache"
+	"raven/internal/obs"
+	"raven/internal/server"
+	"raven/internal/sketch"
+	"raven/internal/trace"
+)
+
+// Router defaults, applied when the corresponding Config field is zero.
+const (
+	defaultReplicas       = 2
+	defaultRequestTimeout = 250 * time.Millisecond
+	defaultMaxRetries     = 2
+	defaultRetryBackoff   = 5 * time.Millisecond
+	defaultProbeInterval  = 250 * time.Millisecond
+	defaultFailLimit      = 3
+	defaultHalfOpenAfter  = time.Second
+	defaultHotKeyMinFreq  = 16
+
+	// maxReplicas caps the lookup fan-out so the per-request candidate
+	// scratch can live on the stack.
+	maxReplicas = 8
+)
+
+// Faults injects failures into the router for tests; nil in production.
+// Both hooks run on request goroutines, keyed by node name, so a test
+// can deterministically fail one node's traffic while others serve.
+type Faults struct {
+	// Dial, when non-nil, is consulted before dialing a node; a non-nil
+	// error fails the dial.
+	Dial func(node string) error
+	// BeforeOp, when non-nil, is consulted before each op (request or
+	// probe) on a checked-out connection; a non-nil error fails the op
+	// without touching the wire.
+	BeforeOp func(node string) error
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	// Nodes are the backend addresses forming the initial ring.
+	Nodes []string
+	// Seed makes ring placement deterministic; two routers with equal
+	// (Seed, VNodes, Nodes) agree on every key's owner.
+	Seed int64
+	// VNodes is the virtual-node count per member (0 = 128).
+	VNodes int
+	// Replicas is the ring lookup fan-out: the owner plus Replicas-1
+	// failover successors (0 = 2, capped at 8 and the node count).
+	Replicas int
+
+	// RequestTimeout bounds each backend round trip (0 = 250ms).
+	RequestTimeout time.Duration
+	// MaxRetries is how many extra attempts a request gets after its
+	// first failure, failing over across replicas (0 = 2; negative
+	// disables retries).
+	MaxRetries int
+	// RetryBackoff is the initial sleep before a retry, doubling per
+	// attempt (0 = 5ms).
+	RetryBackoff time.Duration
+
+	// ProbeInterval is the health-probe period (0 = 250ms; negative
+	// disables the background prober — tests then drive ProbePass
+	// directly).
+	ProbeInterval time.Duration
+	// FailLimit is the consecutive-failure count per breaker rung
+	// (0 = 3).
+	FailLimit int
+	// HalfOpenAfter is the cool-down before an ejected node gets a
+	// recovery probe (0 = 1s).
+	HalfOpenAfter time.Duration
+
+	// HotKeyMinFreq is the count-min estimate at which a key counts as
+	// hot and is replicated to its first ring successor (0 = 16;
+	// negative disables hot-key replication).
+	HotKeyMinFreq int
+	// PoolSize bounds each node's idle-connection pool (0 = 4).
+	PoolSize int
+
+	// Registry receives the router.* metrics; pass the same registry to
+	// server.Config so the router process serves them over METRICS.
+	// nil creates a private registry.
+	Registry *obs.Registry
+	// Faults injects failures for tests; nil in production.
+	Faults *Faults
+}
+
+// routerMetrics are the router-wide obs handles (per-node handles live
+// on each node).
+type routerMetrics struct {
+	failovers      *obs.Counter // attempts moved to a different replica
+	retries        *obs.Counter // extra attempts after a failure
+	hedges         *obs.Counter // speculative hot-key replica reads
+	probes         *obs.Counter // health probes sent
+	replicatedSets *obs.Counter // hot-key writes copied to a successor
+	unroutable     *obs.Counter // requests with every replica ejected
+}
+
+// Router spreads cache traffic over a fleet of ravencached nodes via a
+// deterministic consistent-hash ring, with per-node circuit breakers,
+// bounded retry-with-backoff failover, health probing, and hot-key
+// replication. It implements server.Backend, so a server.Server can
+// front it with the full hardened protocol loop.
+//
+// Failure semantics: a request whose every attempt fails is reported as
+// a miss — the cluster tier degrades to origin traffic, it never errors
+// toward the client.
+type Router struct {
+	cfg      Config
+	replicas int
+	reg      *obs.Registry
+	met      routerMetrics
+
+	mu      sync.RWMutex // guards ring, byName, nextIdx
+	ring    *Ring
+	byName  map[string]*node
+	nextIdx int
+
+	sketchMu sync.Mutex
+	hotness  *sketch.CountMin
+
+	// Aggregate serving stats (server.Backend contract).
+	requests atomic.Int64
+	hits     atomic.Int64
+	reqBytes atomic.Int64
+	hitBytes atomic.Int64
+	sets     atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Router over cfg.Nodes and starts the health prober
+// (unless ProbeInterval < 0).
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = defaultReplicas
+	}
+	if cfg.Replicas > maxReplicas {
+		cfg.Replicas = maxReplicas
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = defaultRequestTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = defaultMaxRetries
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.FailLimit == 0 {
+		cfg.FailLimit = defaultFailLimit
+	}
+	if cfg.HalfOpenAfter == 0 {
+		cfg.HalfOpenAfter = defaultHalfOpenAfter
+	}
+	if cfg.HotKeyMinFreq == 0 {
+		cfg.HotKeyMinFreq = defaultHotKeyMinFreq
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &Router{
+		cfg:      cfg,
+		replicas: cfg.Replicas,
+		reg:      reg,
+		ring:     NewRing(cfg.Seed, cfg.VNodes),
+		byName:   make(map[string]*node, len(cfg.Nodes)),
+		// 4-row, 1024-wide sketch with aging: enough resolution to pick
+		// out a Zipf head over a replay window without remembering it
+		// forever.
+		hotness: sketch.NewCountMin(4, 1024, 64*1024),
+		stop:    make(chan struct{}),
+		met: routerMetrics{
+			failovers:      reg.Counter("router.failovers"),
+			retries:        reg.Counter("router.retries"),
+			hedges:         reg.Counter("router.hedges"),
+			probes:         reg.Counter("router.probes"),
+			replicatedSets: reg.Counter("router.replicated_sets"),
+			unroutable:     reg.Counter("router.unroutable"),
+		},
+	}
+	for _, addr := range cfg.Nodes {
+		if err := r.addNodeLocked(addr); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
+	return r, nil
+}
+
+// addNodeLocked creates the node and puts it on the ring. Callers hold
+// r.mu (New is single-threaded).
+func (r *Router) addNodeLocked(addr string) error {
+	if _, dup := r.byName[addr]; dup {
+		return fmt.Errorf("cluster: duplicate node %q", addr)
+	}
+	if err := r.ring.Add(addr); err != nil {
+		return err
+	}
+	br := NewBreaker(r.cfg.FailLimit, r.cfg.HalfOpenAfter, nil)
+	dial := func() (*server.Client, error) {
+		if f := r.cfg.Faults; f != nil && f.Dial != nil {
+			if err := f.Dial(addr); err != nil {
+				return nil, err
+			}
+		}
+		cl, err := server.DialBinary(addr)
+		if err != nil {
+			return nil, err
+		}
+		cl.Timeout = r.cfg.RequestTimeout
+		return cl, nil
+	}
+	r.byName[addr] = newNode(addr, r.nextIdx, br, r.cfg.PoolSize, r.reg, dial)
+	r.nextIdx++
+	return nil
+}
+
+// AddNode joins a node to the ring. Keys whose ownership moves to it
+// start routing there immediately; the ring guarantees only ~1/(N+1) of
+// the keyspace moves (property-tested in ring_test.go).
+func (r *Router) AddNode(addr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addNodeLocked(addr)
+}
+
+// RemoveNode drains a node out of the ring: new requests route to the
+// survivors at once, in-flight requests finish on their checked-out
+// connections, and the idle pool is closed. Bounded key movement holds
+// symmetrically — only the removed node's ~1/N share moves.
+func (r *Router) RemoveNode(addr string) error {
+	r.mu.Lock()
+	n := r.byName[addr]
+	if n == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: unknown node %q", addr)
+	}
+	if err := r.ring.Remove(addr); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	delete(r.byName, addr)
+	r.mu.Unlock()
+	n.met.state.Set(-1) // removed; distinguishes drain from ejection
+	n.drainPool()
+	return nil
+}
+
+// Close stops the prober and closes every pooled connection.
+func (r *Router) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	for _, n := range r.nodeSnapshot() {
+		n.drainPool()
+	}
+	return nil
+}
+
+// nodeSnapshot returns the current nodes in ring-membership (sorted
+// name) order, so every pass over the fleet is deterministic.
+func (r *Router) nodeSnapshot() []*node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := r.ring.Members()
+	nodes := make([]*node, 0, len(names))
+	for _, name := range names {
+		if n, ok := r.byName[name]; ok {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// Fingerprint returns the ring's placement fingerprint (see
+// Ring.Fingerprint).
+func (r *Router) Fingerprint() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.Fingerprint()
+}
+
+// NodeStates returns each member's breaker state, for operators and
+// tests.
+func (r *Router) NodeStates() map[string]State {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]State, len(r.byName))
+	for name, n := range r.byName {
+		out[name] = n.breaker.State()
+	}
+	return out
+}
+
+// Metrics returns the registry holding the router.* metrics.
+func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+// Replicas returns the effective lookup fan-out after defaulting.
+func (r *Router) Replicas() int { return r.replicas }
+
+// candidates appends the key's owner and failover replicas (as nodes)
+// to dst under the ring lock.
+func (r *Router) candidates(key trace.Key, dst []*node) []*node {
+	var ibuf [maxReplicas]int
+	r.mu.RLock()
+	idxs := r.ring.LookupN(key, r.replicas, ibuf[:0])
+	for _, i := range idxs {
+		dst = append(dst, r.byName[r.ring.names[i]])
+	}
+	r.mu.RUnlock()
+	return dst
+}
+
+// observeState mirrors a node's breaker state to its gauge after any
+// outcome that may have moved it.
+func (n *node) observeState() { n.met.state.Set(int64(n.breaker.State())) }
+
+// try runs one op on one node and reports (completed, positive). A
+// failure trips the node's breaker; a success resets it. Probes skip
+// the per-node ops counter so router.node<i>.ops reconciles exactly
+// against the node's own cache.requests (the node likewise keeps PING
+// out of its request counters).
+func (r *Router) try(n *node, probe bool, op func(*server.Client) (bool, error)) (bool, bool) {
+	if f := r.cfg.Faults; f != nil && f.BeforeOp != nil {
+		if err := f.BeforeOp(n.name); err != nil {
+			n.met.failures.Inc()
+			n.breaker.Failure()
+			n.observeState()
+			return false, false
+		}
+	}
+	cl, err := n.get()
+	if err != nil {
+		n.met.failures.Inc()
+		n.breaker.Failure()
+		n.observeState()
+		return false, false
+	}
+	t0 := time.Now()
+	ok, err := op(cl)
+	n.met.latencyNs.Observe(time.Since(t0).Nanoseconds())
+	if err != nil {
+		n.put(cl, false)
+		n.met.failures.Inc()
+		n.breaker.Failure()
+		n.observeState()
+		return false, false
+	}
+	n.put(cl, true)
+	if !probe {
+		n.met.ops.Inc()
+	}
+	n.breaker.Success()
+	n.observeState()
+	return true, ok
+}
+
+// doOp routes one op across the key's replicas: per-request timeout
+// (the pooled clients carry it), bounded retry with exponential
+// backoff, failing over to the next routable replica on every failure.
+// Returns (positive, served); served=false means every attempt failed
+// or every replica was ejected.
+func (r *Router) doOp(cands []*node, op func(*server.Client) (bool, error)) (bool, bool, *node) {
+	attempts := r.cfg.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := r.cfg.RetryBackoff
+	ci := -1 // index of the node used by the previous attempt
+	for a := 0; a < attempts; a++ {
+		// Next routable candidate at or after the cursor.
+		next := -1
+		for off := 0; off < len(cands); off++ {
+			i := (max(ci, 0) + off) % len(cands)
+			if a > 0 && i == ci && off == 0 && len(cands) > 1 {
+				continue // prefer moving off a node that just failed
+			}
+			if cands[i].breaker.Allow() {
+				next = i
+				break
+			}
+		}
+		if next == -1 {
+			r.met.unroutable.Inc()
+			return false, false, nil
+		}
+		if a > 0 {
+			r.met.retries.Inc()
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			if next != ci {
+				r.met.failovers.Inc()
+			}
+		}
+		ci = next
+		done, ok := r.try(cands[ci], false, op)
+		if done {
+			return ok, true, cands[ci]
+		}
+	}
+	return false, false, nil
+}
+
+// noteKey feeds the hotness sketch and reports whether key is hot
+// enough to replicate.
+func (r *Router) noteKey(key trace.Key) bool {
+	if r.cfg.HotKeyMinFreq < 0 {
+		return false
+	}
+	r.sketchMu.Lock()
+	r.hotness.Add(uint64(key))
+	est := r.hotness.Estimate(uint64(key))
+	r.sketchMu.Unlock()
+	return est >= uint32(r.cfg.HotKeyMinFreq)
+}
+
+// Get implements server.Backend: route the lookup to the key's owner
+// with failover, and for hot keys that miss, hedge a quiet read
+// (binary GETQ — a miss costs no reply payload) against the first
+// replica, which hot-key replication keeps warm.
+func (r *Router) Get(key trace.Key, size, ts int64) bool {
+	hot := r.noteKey(key)
+	var nbuf [maxReplicas]*node
+	cands := r.candidates(key, nbuf[:0])
+	r.requests.Add(1)
+	r.reqBytes.Add(size)
+	if len(cands) == 0 {
+		r.met.unroutable.Inc()
+		return false
+	}
+	hit, served, servedBy := r.doOp(cands, func(cl *server.Client) (bool, error) {
+		return cl.Get(key, size, ts)
+	})
+	if served && !hit && hot {
+		// Replica fan-out read: the replica might hold a hot copy.
+		for _, n := range cands {
+			if n == servedBy || !n.breaker.Allow() {
+				continue
+			}
+			r.met.hedges.Inc()
+			if done, ok := r.try(n, false, func(cl *server.Client) (bool, error) {
+				return cl.GetQuiet(key, size, ts)
+			}); done && ok {
+				hit = true
+			}
+			break
+		}
+	}
+	if hit {
+		r.hits.Add(1)
+		r.hitBytes.Add(size)
+	}
+	return hit
+}
+
+// Set implements server.Backend: route the store to the key's owner
+// with failover; hot keys are additionally copied to the first other
+// routable replica (best effort — a failed copy trips that node's
+// breaker but never fails the op).
+func (r *Router) Set(key trace.Key, size, ts int64) bool {
+	hot := r.noteKey(key)
+	var nbuf [maxReplicas]*node
+	cands := r.candidates(key, nbuf[:0])
+	r.sets.Add(1)
+	if len(cands) == 0 {
+		r.met.unroutable.Inc()
+		return false
+	}
+	stored, served, servedBy := r.doOp(cands, func(cl *server.Client) (bool, error) {
+		return cl.Set(key, size, ts)
+	})
+	if served && hot {
+		for _, n := range cands {
+			if n == servedBy || !n.breaker.Allow() {
+				continue
+			}
+			r.met.replicatedSets.Inc()
+			r.try(n, false, func(cl *server.Client) (bool, error) {
+				return cl.Set(key, size, ts)
+			})
+			break
+		}
+	}
+	return stored
+}
+
+// Stats implements server.Backend: the router's own view of the
+// traffic it served. Node-local counters (evictions, admissions) live
+// on the nodes; fetch their METRICS directly for those.
+func (r *Router) Stats() cache.Stats {
+	return cache.Stats{
+		Requests: r.requests.Load(),
+		Hits:     r.hits.Load(),
+		ReqBytes: r.reqBytes.Load(),
+		HitBytes: r.hitBytes.Load(),
+		Sets:     r.sets.Load(),
+	}
+}
+
+// probeLoop drives ProbePass on the configured interval until Close.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.ProbePass()
+		}
+	}
+}
+
+// ProbePass pings every node once: routable nodes to catch silent
+// death (consecutive probe failures climb the breaker ladder and eject
+// the node), ejected nodes through the breaker's half-open gate so a
+// recovered node is re-admitted. Exported so tests and drills can
+// drive probing deterministically with the background prober disabled.
+func (r *Router) ProbePass() {
+	for _, n := range r.nodeSnapshot() {
+		if !n.breaker.Allow() && !n.breaker.AllowProbe() {
+			continue
+		}
+		r.met.probes.Inc()
+		r.try(n, true, func(cl *server.Client) (bool, error) {
+			return true, cl.Ping()
+		})
+	}
+}

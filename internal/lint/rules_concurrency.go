@@ -342,9 +342,9 @@ func (p *Package) blocksOnConn(sel *ast.SelectorExpr) bool {
 }
 
 // ruleDeadlineOnConn enforces the server's lifecycle invariant: every
-// function in internal/server that does blocking I/O on a net.Conn
-// (directly or through a bufio wrapper) must arm a deadline in the
-// same function — a call to SetDeadline/SetReadDeadline/
+// function in internal/server or internal/cluster that does blocking
+// I/O on a net.Conn (directly or through a bufio wrapper) must arm a
+// deadline in the same function — a call to SetDeadline/SetReadDeadline/
 // SetWriteDeadline or to a helper whose name mentions "deadline".
 // Without a deadline, one slow-loris peer parks a goroutine forever
 // and defeats the graceful drain bound (DESIGN.md "Operational
@@ -353,11 +353,11 @@ func ruleDeadlineOnConn() Rule {
 	const id = "deadline-on-conn"
 	return Rule{
 		ID:  id,
-		Doc: "blocking conn/bufio I/O in internal/server must arm a deadline in the same function",
+		Doc: "blocking conn/bufio I/O in internal/server or internal/cluster must arm a deadline in the same function",
 		Check: func(p *Package) []Finding {
 			var out []Finding
 			p.eachFunc(func(file *ast.File, decl *ast.FuncDecl) {
-				if !underDirs(p.relFile(file), "internal/server") {
+				if !underDirs(p.relFile(file), "internal/server", "internal/cluster") {
 					return
 				}
 				firstBlocking := token.NoPos

@@ -72,12 +72,15 @@ func ruleRandGlobal() Rule {
 // wallClockAllowed lists the module-relative directories where reading
 // the wall clock is legitimate: benchmarking and overhead measurement
 // (internal/experiments), the simulator's eviction-compute timing
-// wrappers (internal/sim), and the live TCP server (internal/server).
+// wrappers (internal/sim), the live TCP server (internal/server), and
+// the cluster tier's health probing / retry backoff (internal/cluster,
+// which measures real node latency and real cool-down intervals).
 // Package main (cmd/, examples/) is also exempt.
 var wallClockAllowed = []string{
 	"internal/experiments",
 	"internal/sim",
 	"internal/server",
+	"internal/cluster",
 }
 
 // ruleWallClock flags time.Now in simulation/policy library code.

@@ -23,6 +23,8 @@ var hotPathEntries = []string{
 	"internal/nn.(*Frozen32).PredictBatch",
 	"internal/nn.(*Net).StepEmbed",
 	"internal/cache.(*Cache).evict",
+	"internal/cluster.(*Ring).Lookup",
+	"internal/cluster.(*Ring).LookupN",
 }
 
 func ruleHotPathPurity() Rule {

@@ -127,6 +127,30 @@ func (o Options) ravenConfig(goal core.Goal) core.Config {
 	return cfg
 }
 
+// perNodeSeedStride separates the seed spaces of cluster nodes. It is
+// far above any plausible shard count, so the composed derivation
+// (PerNode then PerShard's +shardIndex) never collides across nodes.
+const perNodeSeedStride = 1 << 20
+
+// PerNode derives one cluster node's Options from fleet-wide options:
+// a node-strided seed and, when checkpointing is on, a per-node
+// checkpoint subdirectory so nodes never overwrite each other's
+// generations. It composes with Factory.PerShard — node node's shard
+// shard gets seed o.Seed + node*stride + shard — and a single-node
+// fleet returns o unchanged, keeping the standalone layout (and resume
+// of standalone checkpoints) bit-identical.
+func (o Options) PerNode(node, nodes int) Options {
+	if nodes <= 1 {
+		return o
+	}
+	no := o
+	no.Seed = o.Seed + int64(node)*perNodeSeedStride
+	if o.CheckpointDir != "" {
+		no.CheckpointDir = filepath.Join(o.CheckpointDir, fmt.Sprintf("node%d", node))
+	}
+	return no
+}
+
 // Factory builds one fresh, fully independent policy instance from
 // Options. Every registered policy is a Factory, so callers that need
 // N identically-configured instances — the sharded cache engine builds

@@ -46,20 +46,32 @@ const (
 // protocol). More-negative times are rejected as malformed.
 const binNoTime int64 = -1
 
-// Request verbs.
+// Request verbs. GETQ is the quiet get: a hit is answered with a
+// binStatusHitQ frame carrying the key, a miss produces no reply frame
+// at all — miss-heavy pipelines pay reply bytes only for hits. PING is
+// a no-op answered with binStatusPong; it doubles as the router's
+// health probe and as the client-side barrier that flushes a trailing
+// run of quiet gets (every earlier quiet get without a reply by the
+// time PONG arrives is known to have missed).
 const (
 	binVerbGet  byte = 0x01
 	binVerbSet  byte = 0x02
 	binVerbQuit byte = 0x03
+	binVerbGetQ byte = 0x04
+	binVerbPing byte = 0x05
 )
 
 // Reply statuses. Statuses >= binStatusErr are errors and terminate
-// the connection.
+// the connection. binStatusHitQ's 8-byte payload is the request KEY
+// (not the size): quiet replies are sparse, so the key is what lets a
+// pipelining client match a reply to the right in-flight quiet get.
 const (
 	binStatusHit       byte = 0x00
 	binStatusMiss      byte = 0x01
 	binStatusStored    byte = 0x02
 	binStatusNotStored byte = 0x03
+	binStatusHitQ      byte = 0x04
+	binStatusPong      byte = 0x05
 
 	binStatusErr      byte = 0x80
 	binStatusBadVerb  byte = 0x80 // unknown verb
@@ -108,7 +120,7 @@ func (s *Server) handleBinary(c *connIO) {
 		size := int64(binary.LittleEndian.Uint64(c.hdr[10:18]))
 		ts := int64(binary.LittleEndian.Uint64(c.hdr[18:26]))
 		switch verb {
-		case binVerbGet, binVerbSet:
+		case binVerbGet, binVerbSet, binVerbGetQ:
 			if size <= 0 || ts < binNoTime {
 				s.met.badRequests.Inc()
 				s.binError(c, binStatusBadFrame)
@@ -117,8 +129,9 @@ func (s *Server) handleBinary(c *connIO) {
 			s.met.requestsBinary.Inc()
 			t0 := time.Now()
 			var status byte
+			var payload int64 = size
 			var hist *obs.Histogram
-			if verb == binVerbGet {
+			if verb == binVerbGet || verb == binVerbGetQ {
 				hit := s.serve(key, size, ts)
 				if s.cfg.CacheDelay > 0 {
 					time.Sleep(s.cfg.CacheDelay)
@@ -129,6 +142,24 @@ func (s *Server) handleBinary(c *connIO) {
 				status, hist = binStatusMiss, s.met.getLatency
 				if hit {
 					status = binStatusHit
+				}
+				if verb == binVerbGetQ {
+					if !hit {
+						// Quiet miss: no reply frame at all. The latency
+						// sample is still recorded — the work happened —
+						// and earlier buffered replies still flush when
+						// the read side drains, exactly as if a frame
+						// had been written.
+						hist.Observe(time.Since(t0).Nanoseconds())
+						if c.br.Buffered() < binReqLen && !c.flush() {
+							return
+						}
+						continue
+					}
+					// A quiet hit echoes the key, not the size, so a
+					// pipelining client can match the sparse reply to
+					// the right in-flight quiet get.
+					status, payload = binStatusHitQ, int64(key)
 				}
 			} else {
 				stored := s.serveSet(key, size, ts)
@@ -143,7 +174,7 @@ func (s *Server) handleBinary(c *connIO) {
 			if f := s.cfg.Faults; f != nil && f.PreReply != nil {
 				f.PreReply()
 			}
-			putBinResp(&c.rep, status, size)
+			putBinResp(&c.rep, status, payload)
 			_, err := c.bw.Write(c.rep[:])
 			hist.Observe(time.Since(t0).Nanoseconds())
 			if err != nil {
@@ -151,6 +182,23 @@ func (s *Server) handleBinary(c *connIO) {
 			}
 			// Flush once the read side has drained below a full frame:
 			// the client is (or will be) blocked on these replies.
+			if c.br.Buffered() < binReqLen || c.bw.Available() < binRespLen {
+				if !c.flush() {
+					return
+				}
+			}
+		case binVerbPing:
+			// Health probe / pipeline barrier: no cache work, no
+			// request accounting — PONG must reconcile out of the
+			// cache/request totals the chaos test compares.
+			s.met.pings.Inc()
+			if f := s.cfg.Faults; f != nil && f.PreReply != nil {
+				f.PreReply()
+			}
+			putBinResp(&c.rep, binStatusPong, 0)
+			if _, err := c.bw.Write(c.rep[:]); err != nil {
+				return
+			}
 			if c.br.Buffered() < binReqLen || c.bw.Available() < binRespLen {
 				if !c.flush() {
 					return

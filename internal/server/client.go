@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -119,11 +120,16 @@ func (c *Client) Close() error {
 
 // appendOp appends op's wire encoding — a binary frame or a text
 // line, depending on the client's protocol — to buf and returns it.
+// Quiet is a binary-protocol refinement; on a text connection a quiet
+// get is sent as a plain GET (every text op replies).
 func (c *Client) appendOp(buf []byte, op Op) []byte {
 	if c.binary {
 		verb := binVerbGet
-		if op.Set {
+		switch {
+		case op.Set:
 			verb = binVerbSet
+		case op.Quiet:
+			verb = binVerbGetQ
 		}
 		putBinReq(&c.frame, verb, op.Key, op.Size, op.Time)
 		return append(buf, c.frame[:]...)
@@ -149,22 +155,17 @@ func (c *Client) appendOp(buf []byte, op Op) []byte {
 // bounded per reply, not per batch.
 func (c *Client) readReply(isSet bool) (bool, error) {
 	if c.binary {
-		if c.r.Buffered() < binRespLen {
-			c.armDeadline()
-		}
-		if _, err := io.ReadFull(c.r, c.rep[:]); err != nil {
+		status, _, err := c.readBinReply()
+		if err != nil {
 			return false, err
 		}
-		if c.rep[0] != binMagicResp {
-			return false, fmt.Errorf("client: bad reply magic 0x%02x", c.rep[0])
-		}
-		switch status := c.rep[1]; status {
-		case binStatusHit, binStatusStored:
+		switch status {
+		case binStatusHit, binStatusStored, binStatusHitQ:
 			return true, nil
 		case binStatusMiss, binStatusNotStored:
 			return false, nil
 		default:
-			return false, fmt.Errorf("client: server error status 0x%02x", status)
+			return false, fmt.Errorf("client: unexpected reply status 0x%02x", status)
 		}
 	}
 	if c.r.Buffered() == 0 {
@@ -185,6 +186,111 @@ func (c *Client) readReply(isSet bool) (bool, error) {
 		return false, nil
 	default:
 		return false, fmt.Errorf("client: unexpected reply %q", strings.TrimSpace(line))
+	}
+}
+
+// readBinReply reads one binary reply frame and returns its status and
+// 8-byte payload (the size for most statuses, the echoed key for
+// binStatusHitQ). Error statuses (>= 0x80) are surfaced as errors —
+// the server closes the connection after sending one.
+func (c *Client) readBinReply() (byte, int64, error) {
+	if c.r.Buffered() < binRespLen {
+		c.armDeadline()
+	}
+	if _, err := io.ReadFull(c.r, c.rep[:]); err != nil {
+		return 0, 0, err
+	}
+	if c.rep[0] != binMagicResp {
+		return 0, 0, fmt.Errorf("client: bad reply magic 0x%02x", c.rep[0])
+	}
+	status := c.rep[1]
+	if status >= binStatusErr {
+		return 0, 0, fmt.Errorf("client: server error status 0x%02x", status)
+	}
+	return status, int64(binary.LittleEndian.Uint64(c.rep[2:10])), nil
+}
+
+// Ping checks liveness with one PING round trip (both protocols). The
+// server answers without touching the cache, so probes never perturb
+// the traffic statistics the cluster tier reconciles.
+func (c *Client) Ping() error {
+	c.armDeadline()
+	if c.binary {
+		putBinReq(&c.frame, binVerbPing, 0, 0, 0)
+		if _, err := c.w.Write(c.frame[:]); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		status, _, err := c.readBinReply()
+		if err != nil {
+			return err
+		}
+		if status != binStatusPong {
+			return fmt.Errorf("client: PING answered with status 0x%02x", status)
+		}
+		return nil
+	}
+	if _, err := io.WriteString(c.w, "PING\n"); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "PONG") {
+		return fmt.Errorf("client: PING answered %q", strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// GetQuiet issues one quiet GET (binary protocol): the server sends a
+// reply frame only on a hit, so a miss costs zero reply bytes beyond
+// the PING barrier pipelined behind it to resolve the outcome. On a
+// text connection it degrades to a plain Get. This is what the
+// router's replica fan-out reads use — replica probes are miss-heavy
+// by construction.
+func (c *Client) GetQuiet(key trace.Key, size int64, ts int64) (bool, error) {
+	if !c.binary {
+		return c.Get(key, size, ts)
+	}
+	c.armDeadline()
+	putBinReq(&c.frame, binVerbGetQ, key, size, ts)
+	if _, err := c.w.Write(c.frame[:]); err != nil {
+		return false, err
+	}
+	putBinReq(&c.frame, binVerbPing, 0, 0, 0)
+	if _, err := c.w.Write(c.frame[:]); err != nil {
+		return false, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	status, payload, err := c.readBinReply()
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case binStatusPong:
+		return false, nil // quiet miss: only the barrier came back
+	case binStatusHitQ:
+		if trace.Key(payload) != key {
+			return false, fmt.Errorf("client: quiet hit echoed key %d, want %d", payload, key)
+		}
+		status, _, err = c.readBinReply()
+		if err != nil {
+			return false, err
+		}
+		if status != binStatusPong {
+			return false, fmt.Errorf("client: expected PONG after quiet hit, got status 0x%02x", status)
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("client: unexpected quiet-get reply status 0x%02x", status)
 	}
 }
 
@@ -388,13 +494,15 @@ func (c *Client) Replay(tr *trace.Trace, curvePoints int) (*ReplayResult, error)
 }
 
 // Op is one pipelined operation: a GET by default, a SET when Set is
-// true. Time < 0 lets the server's virtual clock stand in for a trace
-// timestamp.
+// true, a quiet GET (binary GETQ: no reply frame on a miss) when Quiet
+// is true. Time < 0 lets the server's virtual clock stand in for a
+// trace timestamp. Quiet is ignored for SETs and on text connections.
 type Op struct {
-	Set  bool
-	Key  trace.Key
-	Size int64
-	Time int64
+	Set   bool
+	Quiet bool
+	Key   trace.Key
+	Size  int64
+	Time  int64
 }
 
 // PipelineStats summarizes one Pipeline run.
@@ -417,12 +525,25 @@ func (p *PipelineStats) ReqPerSec() float64 {
 	return float64(p.Requests) / p.Wall.Seconds()
 }
 
+// pipeBarrier marks an injected PING in the pipeline's pending queue:
+// its PONG proves every quiet get sent before it has been served, so
+// the ones that never replied are known misses.
+const pipeBarrier = -1
+
 // Pipeline issues ops keeping up to depth requests in flight on the
-// connection. Both protocols reply strictly in request order, so the
-// k-th reply answers the k-th op. Requests are batched: the window is
-// refilled (and flushed in one write) whenever it drops to half
-// depth, which pairs with the server's one-flush-per-burst reply
+// connection. Both protocols reply strictly in request order, so
+// replies are matched to ops front to back. Requests are batched: the
+// window is refilled (and flushed in one write) whenever it drops to
+// half depth, which pairs with the server's one-flush-per-burst reply
 // batching. depth <= 1 degenerates to strict request-response.
+//
+// Quiet gets (binary only) produce no reply frame on a miss. A quiet
+// hit is matched by the key the server echoes in its binStatusHitQ
+// frame; every unanswered quiet get in front of it missed. A window
+// holding nothing but quiet gets could be all misses — and therefore
+// produce no reply to unblock the reader — so before blocking in that
+// state the client pipelines one PING barrier; the PONG resolves the
+// whole quiet run as misses.
 func (c *Client) Pipeline(ops []Op, depth int) (PipelineStats, error) {
 	if depth < 1 {
 		depth = 1
@@ -430,37 +551,159 @@ func (c *Client) Pipeline(ops []Op, depth int) (PipelineStats, error) {
 	var st PipelineStats
 	sent := make([]int64, len(ops)) // enqueue times, ns
 	lat := make([]float64, 0, len(ops))
-	next, read := 0, 0
+	// pending holds indices of sent-but-unresolved ops in wire order,
+	// plus pipeBarrier markers for injected PINGs.
+	pending := make([]int, 0, depth+1)
+	next, resolved := 0, 0
 	start := time.Now()
-	for read < len(ops) {
-		if inflight := next - read; next < len(ops) && (inflight == 0 || inflight <= depth/2) {
-			c.armDeadline()
-			for next < len(ops) && next-read < depth {
-				c.scratch = c.appendOp(c.scratch[:0], ops[next])
-				if _, err := c.w.Write(c.scratch); err != nil {
-					return st, fmt.Errorf("client: pipeline enqueue %d: %w", next, err)
-				}
-				sent[next] = time.Now().UnixNano()
-				next++
-			}
-			if err := c.w.Flush(); err != nil {
-				return st, fmt.Errorf("client: pipeline flush: %w", err)
-			}
-		}
-		ok, err := c.readReply(ops[read].Set)
-		if err != nil {
-			return st, fmt.Errorf("client: pipeline reply %d: %w", read, err)
-		}
-		lat = append(lat, float64(time.Now().UnixNano()-sent[read]))
+
+	// quiet reports whether op i rides the no-reply-on-miss path:
+	// binary-protocol non-SET ops marked Quiet.
+	quiet := func(i int) bool { return c.binary && ops[i].Quiet && !ops[i].Set }
+	resolve := func(i int, ok bool) {
+		lat = append(lat, float64(time.Now().UnixNano()-sent[i]))
 		if ok {
-			if ops[read].Set {
+			if ops[i].Set {
 				st.Stored++
 			} else {
 				st.Hits++
 			}
 		}
 		st.Requests++
-		read++
+		resolved++
+	}
+
+	for resolved < len(ops) {
+		if inflight := next - resolved; next < len(ops) && (inflight == 0 || inflight <= depth/2) {
+			c.armDeadline()
+			for next < len(ops) && next-resolved < depth {
+				c.scratch = c.appendOp(c.scratch[:0], ops[next])
+				if _, err := c.w.Write(c.scratch); err != nil {
+					return st, fmt.Errorf("client: pipeline enqueue %d: %w", next, err)
+				}
+				sent[next] = time.Now().UnixNano()
+				pending = append(pending, next)
+				next++
+			}
+			if err := c.w.Flush(); err != nil {
+				return st, fmt.Errorf("client: pipeline flush: %w", err)
+			}
+		}
+		// All-quiet outstanding window: if every one of them misses the
+		// server stays silent, so inject a PING barrier before blocking.
+		if c.binary && len(pending) > 0 && pending[len(pending)-1] != pipeBarrier {
+			allQuiet := true
+			for _, i := range pending {
+				if i == pipeBarrier || !quiet(i) {
+					allQuiet = false
+					break
+				}
+			}
+			if allQuiet {
+				putBinReq(&c.frame, binVerbPing, 0, 0, 0)
+				if _, err := c.w.Write(c.frame[:]); err != nil {
+					return st, fmt.Errorf("client: pipeline barrier: %w", err)
+				}
+				if err := c.w.Flush(); err != nil {
+					return st, fmt.Errorf("client: pipeline barrier flush: %w", err)
+				}
+				pending = append(pending, pipeBarrier)
+			}
+		}
+
+		if !c.binary {
+			// Text protocol: every op replies, strictly in order.
+			i := pending[0]
+			pending = pending[1:]
+			ok, err := c.readReply(ops[i].Set)
+			if err != nil {
+				return st, fmt.Errorf("client: pipeline reply %d: %w", i, err)
+			}
+			resolve(i, ok)
+			continue
+		}
+
+		status, payload, err := c.readBinReply()
+		if err != nil {
+			return st, fmt.Errorf("client: pipeline reply %d: %w", resolved, err)
+		}
+		switch status {
+		case binStatusHitQ:
+			// The echoed key names the quiet get that hit; every quiet
+			// get still pending in front of it missed.
+			key := trace.Key(payload)
+			matched := false
+			for len(pending) > 0 {
+				i := pending[0]
+				if i == pipeBarrier || !quiet(i) {
+					break
+				}
+				pending = pending[1:]
+				if ops[i].Key == key {
+					resolve(i, true)
+					matched = true
+					break
+				}
+				resolve(i, false)
+			}
+			if !matched {
+				return st, fmt.Errorf("client: unmatched quiet hit for key %d", key)
+			}
+		case binStatusPong:
+			// The barrier's PONG: every quiet get sent before it that
+			// never replied is a miss.
+			seenBarrier := false
+			for len(pending) > 0 {
+				i := pending[0]
+				pending = pending[1:]
+				if i == pipeBarrier {
+					seenBarrier = true
+					break
+				}
+				if !quiet(i) {
+					return st, fmt.Errorf("client: PONG crossed non-quiet op %d", i)
+				}
+				resolve(i, false)
+			}
+			if !seenBarrier {
+				return st, fmt.Errorf("client: PONG without a pending barrier")
+			}
+		default:
+			// A regular reply answers the first non-quiet pending op;
+			// quiet gets in front of it missed.
+			for {
+				if len(pending) == 0 {
+					return st, fmt.Errorf("client: reply status 0x%02x with nothing pending", status)
+				}
+				i := pending[0]
+				pending = pending[1:]
+				if i == pipeBarrier {
+					return st, fmt.Errorf("client: reply status 0x%02x crossed a barrier", status)
+				}
+				if quiet(i) {
+					resolve(i, false)
+					continue
+				}
+				ok := status == binStatusHit || status == binStatusStored
+				resolve(i, ok)
+				break
+			}
+		}
+	}
+	// A quiet hit can resolve the last op while its window's injected
+	// barrier is still in flight; drain those PONGs now or they would
+	// desync the next use of the connection.
+	for _, i := range pending {
+		if i != pipeBarrier {
+			continue
+		}
+		status, _, err := c.readBinReply()
+		if err != nil {
+			return st, fmt.Errorf("client: pipeline barrier drain: %w", err)
+		}
+		if status != binStatusPong {
+			return st, fmt.Errorf("client: barrier drain got status 0x%02x, want PONG", status)
+		}
 	}
 	st.Wall = time.Since(start)
 	sort.Float64s(lat)

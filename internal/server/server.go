@@ -111,6 +111,19 @@ type Config struct {
 	// Required when Shards > 1.
 	NewPolicy cache.ShardFactory
 
+	// Backend, when non-nil, replaces the in-process sharded cache
+	// entirely: every GET/SET is delegated to it (the cluster router
+	// serves its fleet through this seam while reusing the whole
+	// hardened serving loop — deadlines, shedding, pipelining, the
+	// zero-alloc parse path). Mutually exclusive with Policy/NewPolicy;
+	// Capacity and Shards are ignored.
+	Backend Backend
+
+	// Registry, when non-nil, is used instead of a fresh metric
+	// registry, so a Backend owner can serve its own metrics (e.g.
+	// router.*) over this server's METRICS verb alongside server.*.
+	Registry *obs.Registry
+
 	// CacheDelay is charged on every request (edge RTT), OriginDelay
 	// additionally on every miss.
 	CacheDelay  time.Duration
@@ -193,6 +206,23 @@ type serverMetrics struct {
 	requestsText   *obs.Counter
 	requestsBinary *obs.Counter
 	flushes        *obs.Counter
+
+	// pings counts PING probes (both protocols). They are deliberately
+	// excluded from the request counters so health probing never skews
+	// cache-traffic reconciliation.
+	pings *obs.Counter
+}
+
+// Backend is the request-serving seam behind the protocol front-end.
+// The default backend is the in-process sharded cache; the cluster
+// router implements Backend to serve a whole fleet through the same
+// hardened protocol loop. Get and Set receive the timestamp already
+// resolved against the server's virtual clock and report hit/stored.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	Get(key trace.Key, size, ts int64) bool
+	Set(key trace.Key, size, ts int64) bool
+	Stats() cache.Stats
 }
 
 // Server is a TCP cache server.
@@ -201,8 +231,10 @@ type Server struct {
 	ln  net.Listener
 
 	// engine is the sharded cache; it owns all locking (per shard), so
-	// the server has no global cache mutex on the request path.
-	engine *cache.Sharded
+	// the server has no global cache mutex on the request path. It is
+	// nil when Config.Backend overrides it.
+	engine  *cache.Sharded
+	backend Backend
 	// vclock is the fallback virtual clock for clients that send no
 	// trace timestamps: a monotone request counter across all shards.
 	vclock atomic.Int64
@@ -211,6 +243,11 @@ type Server struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	closeErr  error
+
+	// fatal is closed when the accept loop exits abnormally (listener
+	// permanently broken); fatalErr records why, under connMu.
+	fatal    chan struct{}
+	fatalErr error
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -221,29 +258,37 @@ type Server struct {
 
 // New creates and starts a server listening on cfg.Addr.
 func New(cfg Config) (*Server, error) {
-	if cfg.Policy == nil && cfg.NewPolicy == nil {
-		return nil, errors.New("server: need a Policy or a NewPolicy shard factory")
-	}
-	if cfg.Policy != nil && cfg.NewPolicy != nil {
-		return nil, errors.New("server: Policy and NewPolicy are mutually exclusive")
-	}
-	if cfg.Capacity <= 0 {
-		return nil, errors.New("server: capacity must be positive")
-	}
-	shards := cfg.Shards
-	if shards <= 0 {
-		shards = 1
-	}
-	factory := cfg.NewPolicy
-	if factory == nil {
-		if shards > 1 {
-			return nil, errors.New("server: Shards > 1 requires NewPolicy (one Policy instance cannot serve several shard locks)")
+	var engine *cache.Sharded
+	if cfg.Backend != nil {
+		if cfg.Policy != nil || cfg.NewPolicy != nil {
+			return nil, errors.New("server: Backend and Policy/NewPolicy are mutually exclusive")
 		}
-		factory = cache.SingleFactory(cfg.Policy)
-	}
-	engine, err := cache.NewSharded(cfg.Capacity, shards, factory)
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+	} else {
+		if cfg.Policy == nil && cfg.NewPolicy == nil {
+			return nil, errors.New("server: need a Policy, a NewPolicy shard factory, or a Backend")
+		}
+		if cfg.Policy != nil && cfg.NewPolicy != nil {
+			return nil, errors.New("server: Policy and NewPolicy are mutually exclusive")
+		}
+		if cfg.Capacity <= 0 {
+			return nil, errors.New("server: capacity must be positive")
+		}
+		shards := cfg.Shards
+		if shards <= 0 {
+			shards = 1
+		}
+		factory := cfg.NewPolicy
+		if factory == nil {
+			if shards > 1 {
+				return nil, errors.New("server: Shards > 1 requires NewPolicy (one Policy instance cannot serve several shard locks)")
+			}
+			factory = cache.SingleFactory(cfg.Policy)
+		}
+		var err error
+		engine, err = cache.NewSharded(cfg.Capacity, shards, factory)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
@@ -252,12 +297,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen: %w", err)
 	}
-	reg := obs.NewRegistry()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		ln:      ln,
 		engine:  engine,
+		backend: cfg.Backend,
 		closed:  make(chan struct{}),
+		fatal:   make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 		metrics: reg,
 		met: serverMetrics{
@@ -277,28 +327,57 @@ func New(cfg Config) (*Server, error) {
 			requestsText:   reg.Counter("server.requests_text"),
 			requestsBinary: reg.Counter("server.requests_binary"),
 			flushes:        reg.Counter("server.flushes"),
+			pings:          reg.Counter("server.pings"),
 		},
 	}
-	cacheObs := &obs.ShardedCacheObs{}
-	cacheObs.Init(engine.Shards())
-	cacheObs.Register(reg, "cache")
-	for i := 0; i < engine.Shards(); i++ {
-		engine.SetShardObs(i, cacheObs.Shard(i))
+	if engine != nil {
+		cacheObs := &obs.ShardedCacheObs{}
+		cacheObs.Init(engine.Shards())
+		cacheObs.Register(reg, "cache")
+		for i := 0; i < engine.Shards(); i++ {
+			engine.SetShardObs(i, cacheObs.Shard(i))
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
-// Shards returns the engine's shard count (a power of two).
-func (s *Server) Shards() int { return s.engine.Shards() }
+// Shards returns the engine's shard count (a power of two), or 0 when
+// a Backend replaces the in-process engine.
+func (s *Server) Shards() int {
+	if s.engine == nil {
+		return 0
+	}
+	return s.engine.Shards()
+}
+
+// Fatal is closed if the accept loop dies without Close being called —
+// the listener failed permanently and the server will never serve
+// another connection. Operators (ravencached, ravenrouter) use this to
+// exit non-zero instead of lingering as a zombie process.
+func (s *Server) Fatal() <-chan struct{} { return s.fatal }
+
+// FatalErr returns the accept error that killed the loop (nil before
+// Fatal fires).
+func (s *Server) FatalErr() error {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.fatalErr
+}
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Stats returns merged per-shard cache statistics. Each shard's
-// snapshot is taken under its own lock; see Sharded.StatsSnapshot.
-func (s *Server) Stats() cache.Stats { return s.engine.StatsSnapshot() }
+// Stats returns merged per-shard cache statistics (or the Backend's
+// view when one replaces the engine). Each shard's snapshot is taken
+// under its own lock; see Sharded.StatsSnapshot.
+func (s *Server) Stats() cache.Stats {
+	if s.backend != nil {
+		return s.backend.Stats()
+	}
+	return s.engine.StatsSnapshot()
+}
 
 // Metrics returns the server's metric registry (live counters, gauges,
 // and latency histograms — the same data METRICS serves on the wire).
@@ -411,6 +490,14 @@ func (s *Server) acceptLoop() {
 			s.met.acceptErrors.Inc()
 			consecutive++
 			if consecutive > maxConsecutiveAcceptErrors {
+				// The listener is permanently broken: surface it so the
+				// operator process can exit non-zero instead of
+				// lingering deaf to new connections.
+				s.connMu.Lock()
+				s.fatalErr = fmt.Errorf("server: accept loop gave up after %d consecutive errors: %w",
+					consecutive, err)
+				s.connMu.Unlock()
+				close(s.fatal)
 				return
 			}
 			if backoff == 0 {
@@ -723,6 +810,18 @@ func (s *Server) handleText(c *connIO) {
 			if !c.flush() {
 				return
 			}
+		case verbIs(verb, "PING"):
+			// Liveness probe: answered without touching the cache and
+			// excluded from request counters, so health probing never
+			// skews traffic reconciliation.
+			s.met.pings.Inc()
+			if f := s.cfg.Faults; f != nil && f.PreReply != nil {
+				f.PreReply()
+			}
+			c.out = append(c.out[:0], "PONG\n"...)
+			if _, err := c.bw.Write(c.out); err != nil {
+				return
+			}
 		case verbIs(verb, "QUIT"):
 			c.flush()
 			return
@@ -835,13 +934,21 @@ func (s *Server) now(ts int64) int64 {
 // training windows still advance for clients that do not send trace
 // timestamps; explicit timestamps ratchet that clock (see now).
 func (s *Server) serve(key trace.Key, size int64, ts int64) bool {
-	req := trace.Request{Time: s.now(ts), Key: key, Size: size, Next: trace.NoNext}
+	t := s.now(ts)
+	if s.backend != nil {
+		return s.backend.Get(key, size, t)
+	}
+	req := trace.Request{Time: t, Key: key, Size: size, Next: trace.NoNext}
 	return s.engine.Handle(req)
 }
 
 // serveSet stores one object on the key's shard (see cache.Cache.Set)
 // and reports whether it is resident afterwards.
 func (s *Server) serveSet(key trace.Key, size int64, ts int64) bool {
-	req := trace.Request{Time: s.now(ts), Key: key, Size: size, Next: trace.NoNext}
+	t := s.now(ts)
+	if s.backend != nil {
+		return s.backend.Set(key, size, t)
+	}
+	req := trace.Request{Time: t, Key: key, Size: size, Next: trace.NoNext}
 	return s.engine.Set(req)
 }

@@ -8,7 +8,10 @@
 #   4. go test -race     (concurrent packages under the race detector,
 #                         plus the dedicated sharded-engine stress run:
 #                         100 clients of mixed GET/SET against an
-#                         8-shard server, reconciling METRICS totals)
+#                         8-shard server, reconciling METRICS totals,
+#                         and the multi-process cluster chaos test:
+#                         SIGKILL + restart of a ravencached node
+#                         mid-replay behind the router)
 #   5. ravenlint         (repo-specific determinism / concurrency /
 #                         hygiene invariants plus the interprocedural
 #                         hot-path / lock / taint rules; runs four ways:
@@ -30,9 +33,9 @@ cd "$(dirname "$0")/.."
 # Packages with real concurrency: the parallel training and eviction
 # layer (nn.Pool and its users in core), the parallel simulator, the
 # TCP server and its stress tests, the metrics layer it exports, the
-# experiment harness that fans out runs, and the cache engine they all
-# share.
-RACE_PKGS="./internal/nn/... ./internal/core/... ./internal/sim/... ./internal/server/... ./internal/obs/... ./internal/experiments/... ./internal/cache/..."
+# experiment harness that fans out runs, the cache engine they all
+# share, and the cluster tier (router, breakers, probing, chaos test).
+RACE_PKGS="./internal/nn/... ./internal/core/... ./internal/sim/... ./internal/server/... ./internal/obs/... ./internal/experiments/... ./internal/cache/... ./internal/cluster/..."
 
 echo "==> go vet ./..."
 go vet ./...
@@ -52,6 +55,11 @@ if [[ "${SKIP_RACE:-0}" != "1" ]]; then
     # is always exercised fresh under the race detector.
     echo "==> sharded cross-shard race stress (100 clients, mixed GET/SET)"
     go test -race -count=1 -run 'TestShardedStress|TestShardedConcurrent' ./internal/server/ ./internal/cache/
+    # The multi-process chaos test runs again explicitly under a hard
+    # timeout: 3 ravencached processes, SIGKILL + restart mid-replay,
+    # bounded hit-ratio error and METRICS reconciliation.
+    echo "==> cluster chaos churn (3-node fleet, SIGKILL + restart mid-replay)"
+    go test -race -count=1 -timeout 300s -run 'TestChaosNodeChurn' ./internal/cluster/
 else
     echo "==> skipping -race (SKIP_RACE=1; CI runs it as a dedicated job)"
 fi
