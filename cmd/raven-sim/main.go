@@ -50,6 +50,9 @@ func main() {
 		// Research defaults: the simulator keeps the fast path and the
 		// SLO clock off so replays stay bit-identical run to run; the
 		// serving binary (ravencached) defaults them on.
+		admitMode  = flag.String("admit", "", "admission front-end: off|doorkeeper|learned (learned needs a reuse-predicting policy: raven/raven-ohr)")
+		prefetchHz = flag.Int64("prefetch-horizon", 0, "Raven prefetch: queue evicted objects predicted to return within this many trace ticks (0 = off)")
+
 		scoreCache  = flag.Bool("score-cache", false, "Raven cached-score eviction fast path")
 		inference32 = flag.Bool("inference32", false, "Raven float32 inference kernels on the fast path (training stays float64)")
 		budget      = flag.Duration("decision-budget", 0, "Raven per-eviction-decision deadline; overruns fall back to LRU (0 = off)")
@@ -103,6 +106,8 @@ func main() {
 			ScoreCache:      *scoreCache,
 			Inference32:     *inference32,
 			DecisionBudget:  *budget,
+			Admission:       policy.AdmissionOptions{Mode: *admitMode},
+			Prefetch:        policy.PrefetchOptions{Horizon: *prefetchHz},
 		}
 		factory, err := policy.Lookup(name)
 		if err != nil {
@@ -121,7 +126,7 @@ func main() {
 		fmt.Printf("%-18s %8.4f %8.4f %12d %12.0f %10v\n",
 			label, res.OHR, res.BHR, res.Stats.Evictions, res.EvictionNanos.Mean, res.WallTime.Round(1e6))
 		for shard, p := range res.PolicyState.([]cache.Policy) {
-			r, ok := p.(*core.Raven)
+			r, ok := cache.Unwrap(p).(*core.Raven)
 			if !ok {
 				continue
 			}

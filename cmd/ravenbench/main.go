@@ -98,6 +98,14 @@ type decisionP99Result struct {
 	ScoreCacheHitRatio float64 `json:"score_cache_hit_ratio"`
 }
 
+type admissionResult struct {
+	Mode       string  `json:"mode"` // admit-all | doorkeeper | learned
+	Requests   int     `json:"requests"`
+	OHR        float64 `json:"ohr"`
+	RejectRate float64 `json:"reject_rate"`
+	PrefetchOK int64   `json:"prefetch_hits"`
+}
+
 type report struct {
 	Date       string              `json:"date"`
 	GoVersion  string              `json:"go_version"`
@@ -113,6 +121,11 @@ type report struct {
 	// pipelining against the same server setup as ShardSweep; depth 1
 	// isolates the binary framing win, deeper pipelines add batching.
 	PipelinedSweep []pipeResult `json:"pipelined_sweep,omitempty"`
+	// AdmissionSweep compares the admission front-end modes (admit-all,
+	// doorkeeper, learned + prefetch) on a one-hit-wonder-heavy trace:
+	// OHR is gated in -compare mode so an admission-quality regression
+	// fails CI like a latency regression does.
+	AdmissionSweep []admissionResult `json:"admission_sweep,omitempty"`
 }
 
 // timeOp measures ns/op of fn, running it repeatedly until at least
@@ -411,6 +424,54 @@ func benchEndToEnd(workers []int, requests int) []e2eResult {
 	return out
 }
 
+// benchAdmissionSweep replays one one-hit-wonder-heavy synthetic trace
+// (many objects, few repeats, Pareto interarrivals — the CDN shape
+// admission control exists for) through Raven under each admission
+// mode and records the hit-ratio and reject-rate deltas. The learned
+// run also arms the prefetch queue so its counters are exercised.
+func benchAdmissionSweep(requests int) []admissionResult {
+	modes := []struct {
+		label string
+		adm   policy.AdmissionOptions
+		pf    policy.PrefetchOptions
+	}{
+		{"admit-all", policy.AdmissionOptions{}, policy.PrefetchOptions{}},
+		{"doorkeeper", policy.AdmissionOptions{Mode: policy.AdmitDoorkeeper}, policy.PrefetchOptions{}},
+		{"learned", policy.AdmissionOptions{Mode: policy.AdmitLearned},
+			policy.PrefetchOptions{Horizon: 1}}, // filled from the trace below
+	}
+	out := make([]admissionResult, 0, len(modes))
+	for _, m := range modes {
+		tr := trace.Synthetic(trace.SynthConfig{
+			Objects: requests / 3, Requests: requests, Interarrival: trace.Pareto,
+			Seed: 11,
+		})
+		if m.pf.Horizon != 0 {
+			m.pf.Horizon = tr.Duration() / 8
+		}
+		capacity := int64(requests) / 300
+		p := policy.MustNew("raven", policy.Options{
+			Capacity:    capacity,
+			TrainWindow: tr.Duration() / 8,
+			Seed:        7,
+			ScoreCache:  true,
+			Admission:   m.adm,
+			Prefetch:    m.pf,
+		})
+		res := sim.Run(tr, p, sim.Options{Capacity: capacity, Seed: 3, WarmupFrac: 0.3})
+		misses := res.Stats.Admissions + res.Stats.Rejections
+		rejectRate := 0.0
+		if misses > 0 {
+			rejectRate = float64(res.Stats.Rejections) / float64(misses)
+		}
+		out = append(out, admissionResult{
+			Mode: m.label, Requests: requests, OHR: res.OHR,
+			RejectRate: rejectRate, PrefetchOK: res.Stats.PrefetchHits,
+		})
+	}
+	return out
+}
+
 // benchShards measures server throughput across shard counts: for
 // each count it starts a TCP server whose cache is split into that
 // many shards (one LHD instance per shard — a policy with real
@@ -701,8 +762,18 @@ func compareReports(oldRep, newRep *report, tol float64) bool {
 			}
 		}
 	}
+	fmt.Printf("== admission_sweep (OHR, gated at -%.0f%%)\n", tol*100)
+	for _, n := range newRep.AdmissionSweep {
+		for _, o := range oldRep.AdmissionSweep {
+			if o.Mode == n.Mode && o.Requests == n.Requests {
+				s, bad := deltaLineUp(o.OHR*1000, n.OHR*1000, tol, true)
+				check(fmt.Sprintf("%-11s %s (milli-OHR)  reject rate %.3f -> %.3f",
+					n.Mode, s, o.RejectRate, n.RejectRate), bad)
+			}
+		}
+	}
 	if regressed {
-		fmt.Printf("FAIL: a gated section (eviction latency or pipelined throughput) regressed by more than %.0f%%\n", tol*100)
+		fmt.Printf("FAIL: a gated section (eviction latency, pipelined throughput, or admission OHR) regressed by more than %.0f%%\n", tol*100)
 	} else {
 		fmt.Println("OK: no gated regressions")
 	}
@@ -796,6 +867,12 @@ func main() {
 	rep.ShardSweep = benchShards([]int{1, 2, 4, 8}, 8, perClient)
 	fmt.Fprintln(os.Stderr, "==> server pipelined sweep (binary protocol)")
 	rep.PipelinedSweep = benchPipelined(pclients, depths, perClient)
+	fmt.Fprintln(os.Stderr, "==> admission sweep (admit-all vs doorkeeper vs learned)")
+	admReqs := 60000
+	if *quick {
+		admReqs = 15000
+	}
+	rep.AdmissionSweep = benchAdmissionSweep(admReqs)
 
 	path := filepath.Join(*outDir, "BENCH_"+rep.Date+".json")
 	buf, err := json.MarshalIndent(&rep, "", "  ")

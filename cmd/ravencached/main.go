@@ -68,6 +68,9 @@ func run() int {
 		originMS = flag.Int("origindelay", 0, "simulated per-miss origin delay (ms)")
 		seed     = flag.Int64("seed", 42, "random seed")
 
+		admitMode  = flag.String("admit", "", "admission front-end: off|doorkeeper|learned (learned needs a reuse-predicting policy: raven/raven-ohr)")
+		prefetchHz = flag.Int64("prefetch-horizon", 0, "raven: queue evicted objects predicted to return within this many trace ticks for re-warming (0 = off)")
+
 		scoreCache  = flag.Bool("score-cache", true, "raven: cached-score eviction fast path")
 		inference32 = flag.Bool("inference32", true, "raven: float32 inference kernels on the fast path (training stays float64)")
 		budget      = flag.Duration("decision-budget", 50*time.Microsecond, "raven: per-eviction-decision deadline; overruns fall back to LRU and count toward degradation (0 = off)")
@@ -104,6 +107,8 @@ func run() int {
 		ScoreCache:      *scoreCache,
 		Inference32:     *inference32,
 		DecisionBudget:  *budget,
+		Admission:       policy.AdmissionOptions{Mode: *admitMode},
+		Prefetch:        policy.PrefetchOptions{Horizon: *prefetchHz},
 	}.PerNode(*node, *nodes), *shards)
 	// Capture each shard's policy as it is built so checkpoint-resume
 	// status can be reported per shard below.
@@ -135,7 +140,7 @@ func run() int {
 	}
 	if *ckptDir != "" {
 		for shard, p := range built {
-			r, ok := p.(*core.Raven)
+			r, ok := cache.Unwrap(p).(*core.Raven)
 			if !ok {
 				continue
 			}
@@ -170,7 +175,7 @@ func run() int {
 		// so the policies are quiescent): operators and the chaos
 		// harness read this to tell a clean fallback from a crash.
 		for shard, p := range built {
-			if r, ok := p.(*core.Raven); ok {
+			if r, ok := cache.Unwrap(p).(*core.Raven); ok {
 				fmt.Printf("ravencached: shard%d final health: %s\n", shard, r.Health())
 			}
 		}

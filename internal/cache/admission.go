@@ -1,0 +1,319 @@
+package cache
+
+import (
+	"raven/internal/obs"
+	"raven/internal/sketch"
+)
+
+// This file is the admission front-end: the redesigned typed admission
+// seam (Decision / Admitter), the compat shim for the legacy boolean
+// seam, and the composable pipeline stages — the CM-sketch + Bloom
+// doorkeeper frequency front and the MDN predicted-reuse check — that
+// policy.Options.Admission wires in front of any eviction policy.
+
+// Canonical reject reasons, re-exported from obs (which defines them
+// next to the per-reason metric names) so decisions and metrics can
+// never drift apart.
+const (
+	RejectTooLarge       = obs.ReasonTooLarge
+	RejectNoVictim       = obs.ReasonNoVictim
+	RejectPolicy         = obs.ReasonPolicy
+	RejectSizeThreshold  = obs.ReasonSizeThreshold
+	RejectDoorkeeper     = obs.ReasonDoorkeeper
+	RejectFrequency      = obs.ReasonFrequency
+	RejectPredictedReuse = obs.ReasonPredictedReuse
+)
+
+// Decision is the typed result of an admission check. The boolean seam
+// it replaces (ShouldAdmit(req) bool) could not express WHY an object
+// was refused, so reject reasons were invisible to operators and
+// stages could not be chained without losing information.
+type Decision struct {
+	// Admit reports whether the object may be inserted.
+	Admit bool
+	// Reason names the rejecting stage when Admit is false (one of the
+	// Reject* constants, or any other short stable string — unknown
+	// reasons count under cache.admit_rejects.other). Empty on accept.
+	Reason string
+}
+
+// Accepted is the accepting Decision.
+var Accepted = Decision{Admit: true}
+
+// Reject returns a rejecting Decision carrying reason.
+func Reject(reason string) Decision { return Decision{Reason: reason} }
+
+// Admitter is the redesigned admission seam: an optional Policy
+// extension (or standalone pipeline stage) consulted before a missed
+// object is inserted. Implementations may update internal state
+// (sketches, doorkeepers) on every call; the engine calls Admit at
+// most once per miss.
+type Admitter interface {
+	Admit(req Request) Decision
+}
+
+// AdmitterFunc adapts a function to the Admitter interface.
+type AdmitterFunc func(req Request) Decision
+
+// Admit implements Admitter.
+func (f AdmitterFunc) Admit(req Request) Decision { return f(req) }
+
+// LegacyAdmitter is the pre-redesign boolean admission seam. Policies
+// that still implement it (TinyLFU, AdaptSize, LHR) pass through the
+// engine unchanged: a false return is treated as Reject(RejectPolicy).
+type LegacyAdmitter interface {
+	ShouldAdmit(req Request) bool
+}
+
+// AdmitLegacy adapts a legacy boolean admitter to the typed seam.
+func AdmitLegacy(a LegacyAdmitter) Admitter {
+	return AdmitterFunc(func(req Request) Decision {
+		if !a.ShouldAdmit(req) {
+			return Reject(RejectPolicy)
+		}
+		return Accepted
+	})
+}
+
+// PolicyAdmit runs p's admission control over req: the typed Admitter
+// if implemented, else the legacy boolean seam through the compat
+// shim, else accept. It is the engine's single consumption point, so
+// every policy — redesigned or legacy — flows through one code path.
+func PolicyAdmit(p Policy, req Request) Decision {
+	switch a := p.(type) {
+	case Admitter:
+		return a.Admit(req)
+	case LegacyAdmitter:
+		if !a.ShouldAdmit(req) {
+			return Reject(RejectPolicy)
+		}
+	}
+	return Accepted
+}
+
+// Chain composes admission stages into one Admitter: every stage must
+// accept, and the first rejecting stage's reason is the pipeline's.
+// Later stages are not consulted after a reject, so their sketch state
+// only observes objects that survived the earlier filters.
+func Chain(stages ...Admitter) Admitter {
+	return AdmitterFunc(func(req Request) Decision {
+		for _, s := range stages {
+			if d := s.Admit(req); !d.Admit {
+				return d
+			}
+		}
+		return Accepted
+	})
+}
+
+// SketchAdmitter is the frequency front of the admission pipeline: a
+// Bloom doorkeeper absorbs first sightings (one-hit wonders never
+// reach the sketch) and a conservative-update CM-sketch counts
+// repeats. An object is admitted once its estimated frequency —
+// doorkeeper bit included — reaches MinFreq. The doorkeeper resets in
+// lockstep with the sketch's periodic halving, so long replays decay
+// stale popularity instead of saturating (sketch.CountMin.OnAge).
+type SketchAdmitter struct {
+	door *sketch.Bloom
+	sk   *sketch.CountMin
+	min  uint32
+}
+
+// NewSketchAdmitter sizes the front for roughly entries objects.
+// minFreq is the admission threshold (0 defaults to 2: first sighting
+// is absorbed, the second passes). halveEvery is the deterministic
+// sketch aging period in sketch increments (0 defaults to 16x entries,
+// TinyLFU's W ratio).
+func NewSketchAdmitter(entries int, minFreq uint32, halveEvery uint64) *SketchAdmitter {
+	if entries < 64 {
+		entries = 64
+	}
+	if minFreq == 0 {
+		minFreq = 2
+	}
+	if halveEvery == 0 {
+		halveEvery = uint64(16 * entries)
+	}
+	// The doorkeeper is sized for the sample window (TinyLFU's W = 16x
+	// cache entries), NOT the cache size: it must remember a full aging
+	// period's worth of distinct keys, or it self-resets faster than
+	// typical reuse distances and nothing ever recurs "within" it.
+	doorN := int(halveEvery)
+	if doorN < entries {
+		doorN = entries
+	}
+	a := &SketchAdmitter{
+		door: sketch.NewBloom(doorN),
+		sk:   sketch.NewCountMin(4, 4*entries, halveEvery),
+		min:  minFreq,
+	}
+	// Aging halves sketch counters; the doorkeeper's "seen once" bits
+	// are half-counts too and must decay with them, or every object
+	// ever seen would keep its +1 forever.
+	a.sk.OnAge = a.door.Reset
+	return a
+}
+
+// Admit implements Admitter: observe the sighting, then admit when the
+// estimated frequency reaches the threshold.
+func (a *SketchAdmitter) Admit(req Request) Decision {
+	k := uint64(req.Key)
+	seen := a.door.AddIfMissing(k)
+	if seen {
+		a.sk.Add(k)
+	}
+	f := a.sk.Estimate(k)
+	if a.door.Contains(k) {
+		f++
+	}
+	if f >= a.min {
+		return Accepted
+	}
+	if !seen {
+		return Reject(RejectDoorkeeper)
+	}
+	return Reject(RejectFrequency)
+}
+
+// ReusePredictor is implemented by learned policies (core.Raven) that
+// can predict an object's next arrival on the trace's virtual clock.
+// ok is false when no usable prediction exists (no trained model, no
+// history, degraded health); admission then accepts rather than
+// guessing.
+type ReusePredictor interface {
+	PredictNextArrival(req Request) (at int64, ok bool)
+}
+
+// ReuseAdmitter is the MDN stage of the admission pipeline: reject
+// when the model's predicted next arrival falls beyond the object's
+// expected cache lifetime — the object would be evicted before it is
+// requested again, so inserting it can only displace better bytes.
+//
+// The expected lifetime is the cache's characteristic time, estimated
+// online from the admission stream itself: the virtual time to turn
+// the cache over once at the accepted-byte rate (capacity x elapsed /
+// acceptedBytes). Everything is derived from request timestamps and
+// byte counts, so replays are bit-exact.
+type ReuseAdmitter struct {
+	pred     ReusePredictor
+	capacity int64
+	slack    float64
+
+	begun    bool
+	t0       int64
+	accepted int64
+}
+
+// NewReuseAdmitter builds the predicted-reuse stage for a cache of the
+// given byte capacity. slack scales the expected-lifetime bound
+// (<= 0 defaults to 1); larger values admit more speculative objects.
+func NewReuseAdmitter(pred ReusePredictor, capacity int64, slack float64) *ReuseAdmitter {
+	if slack <= 0 {
+		slack = 1
+	}
+	return &ReuseAdmitter{pred: pred, capacity: capacity, slack: slack}
+}
+
+// lifetime returns the expected residency lifetime in virtual ticks.
+// ok is false until the admission stream has accepted one full cache
+// turnover of bytes — before that the estimate would be noise, so the
+// stage abstains.
+func (a *ReuseAdmitter) lifetime(now int64) (float64, bool) {
+	if a.accepted < a.capacity {
+		return 0, false
+	}
+	elapsed := now - a.t0
+	if elapsed <= 0 {
+		return 0, false
+	}
+	return a.slack * float64(elapsed) * float64(a.capacity) / float64(a.accepted), true
+}
+
+// Admit implements Admitter.
+func (a *ReuseAdmitter) Admit(req Request) Decision {
+	if !a.begun {
+		a.begun = true
+		a.t0 = req.Time
+	}
+	if lt, ok := a.lifetime(req.Time); ok {
+		if next, predicted := a.pred.PredictNextArrival(req); predicted &&
+			float64(next-req.Time) > lt {
+			return Reject(RejectPredictedReuse)
+		}
+	}
+	a.accepted += req.Size
+	return Accepted
+}
+
+// fronted wraps a policy with an admission pipeline, chaining the
+// front's decision with the inner policy's own admission (typed or
+// legacy). It is how policy.Options.Admission attaches the pipeline:
+// the wrapper travels through every existing construction seam
+// (Factory, PerShard, ShardFactory, the server's NewPolicy) untouched.
+type fronted struct {
+	Policy
+	front Admitter
+}
+
+// WithAdmission returns inner fronted by the given pipeline stages.
+// With no stages inner is returned unchanged.
+func WithAdmission(inner Policy, stages ...Admitter) Policy {
+	if len(stages) == 0 {
+		return inner
+	}
+	front := stages[0]
+	if len(stages) > 1 {
+		front = Chain(stages...)
+	}
+	return &fronted{Policy: inner, front: front}
+}
+
+// Admit implements Admitter: front stages first, then the inner
+// policy's own admission.
+func (f *fronted) Admit(req Request) Decision {
+	if d := f.front.Admit(req); !d.Admit {
+		return d
+	}
+	return PolicyAdmit(f.Policy, req)
+}
+
+// Unwrap returns the wrapped policy, so callers that type-assert for
+// concrete policies (e.g. *core.Raven checkpoint status) can reach
+// through the front.
+func (f *fronted) Unwrap() Policy { return f.Policy }
+
+// Flush implements Flusher, forwarding to the inner policy.
+func (f *fronted) Flush() {
+	if fl, ok := f.Policy.(Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// MetadataBytesPerObject implements Footprinter, forwarding to the
+// inner policy (0 when it does not report a footprint).
+func (f *fronted) MetadataBytesPerObject() int64 {
+	if fp, ok := f.Policy.(Footprinter); ok {
+		return fp.MetadataBytesPerObject()
+	}
+	return 0
+}
+
+// NextPrefetch implements Prefetcher, forwarding to the inner policy.
+func (f *fronted) NextPrefetch(now int64) (Request, bool) {
+	if pf, ok := f.Policy.(Prefetcher); ok {
+		return pf.NextPrefetch(now)
+	}
+	return Request{}, false
+}
+
+// Unwrap returns the innermost policy by following Unwrap methods, for
+// callers that inspect concrete policy state behind wrappers.
+func Unwrap(p Policy) Policy {
+	for {
+		u, ok := p.(interface{ Unwrap() Policy })
+		if !ok {
+			return p
+		}
+		p = u.Unwrap()
+	}
+}

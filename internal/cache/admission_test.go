@@ -1,0 +1,390 @@
+package cache
+
+import (
+	"testing"
+
+	"raven/internal/obs"
+)
+
+// ---- typed seam, shim, and pipeline composition ----
+
+// legacyDeny is a policy on the pre-redesign boolean seam.
+type legacyDeny struct {
+	*testLRU
+	deny bool
+}
+
+func (p *legacyDeny) ShouldAdmit(Request) bool { return !p.deny }
+
+func TestPolicyAdmitDispatch(t *testing.T) {
+	// Plain policy: no admission seam at all -> accept.
+	if d := PolicyAdmit(newTestLRU(), req(1, 1, 1)); !d.Admit {
+		t.Errorf("plain policy rejected: %+v", d)
+	}
+	// Legacy boolean seam through the shim -> RejectPolicy.
+	d := PolicyAdmit(&legacyDeny{testLRU: newTestLRU(), deny: true}, req(1, 1, 1))
+	if d.Admit || d.Reason != RejectPolicy {
+		t.Errorf("legacy deny = %+v, want reject with reason %q", d, RejectPolicy)
+	}
+	if d := PolicyAdmit(&legacyDeny{testLRU: newTestLRU()}, req(1, 1, 1)); !d.Admit {
+		t.Errorf("legacy allow rejected: %+v", d)
+	}
+	// AdmitLegacy adapts a LegacyAdmitter directly.
+	a := AdmitLegacy(&legacyDeny{testLRU: newTestLRU(), deny: true})
+	if d := a.Admit(req(1, 1, 1)); d.Admit || d.Reason != RejectPolicy {
+		t.Errorf("AdmitLegacy = %+v", d)
+	}
+}
+
+func TestChainFirstRejectWins(t *testing.T) {
+	accept := AdmitterFunc(func(Request) Decision { return Accepted })
+	rejectA := AdmitterFunc(func(Request) Decision { return Reject("a") })
+	rejectB := AdmitterFunc(func(Request) Decision { return Reject("b") })
+	if d := Chain(accept, rejectA, rejectB).Admit(req(1, 1, 1)); d.Reason != "a" {
+		t.Errorf("chain reason %q, want first rejecting stage %q", d.Reason, "a")
+	}
+	if d := Chain(accept, accept).Admit(req(1, 1, 1)); !d.Admit {
+		t.Errorf("all-accept chain rejected: %+v", d)
+	}
+}
+
+func TestWithAdmissionWrapsAndUnwraps(t *testing.T) {
+	inner := &legacyDeny{testLRU: newTestLRU()}
+	front := AdmitterFunc(func(r Request) Decision {
+		if r.Size > 5 {
+			return Reject(RejectSizeThreshold)
+		}
+		return Accepted
+	})
+	p := WithAdmission(inner, front)
+	if p.Name() != inner.Name() {
+		t.Errorf("fronted name %q", p.Name())
+	}
+	if Unwrap(p) != Policy(inner) {
+		t.Error("Unwrap did not reach the inner policy")
+	}
+	if same := WithAdmission(inner); same != Policy(inner) {
+		t.Error("WithAdmission with no stages must return inner unchanged")
+	}
+	// Front rejects first; then the inner policy's own (legacy) seam.
+	if d := p.(Admitter).Admit(req(1, 1, 9)); d.Reason != RejectSizeThreshold {
+		t.Errorf("front reject = %+v", d)
+	}
+	inner.deny = true
+	if d := p.(Admitter).Admit(req(1, 1, 1)); d.Reason != RejectPolicy {
+		t.Errorf("inner reject through front = %+v", d)
+	}
+}
+
+// ---- sketch admission ----
+
+// TestSketchAdmitterSaturatedStillAdmitsHotKeys is the aging-seam
+// regression test at the pipeline level: after the sketch has absorbed
+// enough one-hit-wonder traffic to saturate and age several times, a
+// genuinely hot key must still be admitted on its second sighting.
+func TestSketchAdmitterSaturatedStillAdmitsHotKeys(t *testing.T) {
+	a := NewSketchAdmitter(64, 0, 256) // tiny: ages every 256 sketch adds
+	now := int64(0)
+	next := func(k Key) Decision { now++; return a.Admit(req(now, k, 1)) }
+
+	// A hammered hot key saturates its counters and, by itself, drives
+	// many aging cycles (the fixed seam: saturated adds still advance
+	// the aging clock).
+	for i := 0; i < 4096; i++ {
+		next(Key(1))
+	}
+	// A flood of one-hit wonders: all but a Bloom-false-positive-bounded
+	// handful rejected at the doorkeeper.
+	spurious := 0
+	for k := Key(1000); k < 3000; k++ {
+		if d := next(k); d.Admit {
+			spurious++
+		}
+	}
+	if spurious > 100 { // 5% of 2000; the doorkeeper is sized for ~1% FPs
+		t.Fatalf("%d of 2000 one-hit wonders admitted", spurious)
+	}
+	// A fresh hot key: absorbed once, admitted on a repeat sighting.
+	d1 := next(Key(5))
+	if d1.Admit || d1.Reason != RejectDoorkeeper {
+		t.Errorf("first sighting = %+v, want doorkeeper reject", d1)
+	}
+	if d2 := next(Key(5)); !d2.Admit {
+		t.Errorf("hot key still rejected after saturation+aging: %+v", d2)
+	}
+}
+
+// ---- predicted-reuse admission ----
+
+type stubPredictor struct {
+	at map[Key]int64
+}
+
+func (s stubPredictor) PredictNextArrival(r Request) (int64, bool) {
+	at, ok := s.at[r.Key]
+	return at, ok
+}
+
+func TestReuseAdmitterLifetimeBound(t *testing.T) {
+	pred := stubPredictor{at: map[Key]int64{7: 1000000, 8: 1010}}
+	a := NewReuseAdmitter(pred, 100, 1)
+	// Warm-up: before one full cache turnover of accepted bytes the
+	// stage abstains, even for the far-future key.
+	if d := a.Admit(req(1, 7, 50)); !d.Admit {
+		t.Fatalf("abstaining stage rejected: %+v", d)
+	}
+	if d := a.Admit(req(500, 9, 60)); !d.Admit {
+		t.Fatalf("abstaining stage rejected: %+v", d)
+	}
+	// 110 bytes accepted over 999 ticks: lifetime ~ 999*100/110 ~ 908.
+	// Key 7's predicted arrival is ~1M ticks out -> reject; key 8
+	// returns within the lifetime -> accept; unknown keys -> accept.
+	if d := a.Admit(req(1000, 7, 10)); d.Admit || d.Reason != RejectPredictedReuse {
+		t.Errorf("far-future key = %+v, want %q reject", d, RejectPredictedReuse)
+	}
+	if d := a.Admit(req(1000, 8, 10)); !d.Admit {
+		t.Errorf("near-future key rejected: %+v", d)
+	}
+	if d := a.Admit(req(1000, 99, 10)); !d.Admit {
+		t.Errorf("unpredicted key rejected: %+v", d)
+	}
+}
+
+// ---- metrics reconciliation: reject reasons ----
+
+// TestRejectReasonCountersReconcile drives a fronted cache and checks
+// the per-reason counters exactly: their sum equals Stats.Rejections,
+// and each constituent reason matches the pipeline's decisions.
+func TestRejectReasonCountersReconcile(t *testing.T) {
+	r := obs.NewRegistry()
+	var co obs.CacheObs
+	co.Register(r, "cache")
+	front := AdmitterFunc(func(r Request) Decision {
+		if r.Key%3 == 0 {
+			return Reject(RejectFrequency)
+		}
+		if r.Key%3 == 1 {
+			return Reject("made-up-reason") // counts under .other
+		}
+		return Accepted
+	})
+	c := New(100, WithAdmission(newTestLRU(), front))
+	c.SetObs(&co)
+	for i := 0; i < 90; i++ {
+		c.Handle(req(int64(i+1), Key(i), 1))
+	}
+	c.Handle(req(1000, 200, 101)) // oversize -> too_large
+
+	st := c.Stats()
+	snap := make(map[string]int64)
+	for _, kv := range r.Snapshot() {
+		snap[kv.Name] = kv.Value
+	}
+	var sum int64
+	for _, reason := range []string{
+		RejectTooLarge, RejectNoVictim, RejectPolicy, RejectSizeThreshold,
+		RejectDoorkeeper, RejectFrequency, RejectPredictedReuse, obs.ReasonOther,
+	} {
+		sum += snap["cache.admit_rejects."+reason]
+	}
+	if sum != st.Rejections {
+		t.Errorf("sum(admit_rejects.*) = %d, Stats.Rejections = %d", sum, st.Rejections)
+	}
+	if got := snap["cache.admit_rejects."+RejectFrequency]; got != 30 {
+		t.Errorf("frequency rejects = %d, want 30", got)
+	}
+	if got := snap["cache.admit_rejects."+obs.ReasonOther]; got != 30 {
+		t.Errorf("other rejects = %d, want 30", got)
+	}
+	if got := snap["cache.admit_rejects."+RejectTooLarge]; got != 1 {
+		t.Errorf("too_large rejects = %d, want 1", got)
+	}
+}
+
+// TestShardedRejectCountersReconcile checks the same invariant through
+// the sharded engine and the aggregated ShardedCacheObs registry rows.
+func TestShardedRejectCountersReconcile(t *testing.T) {
+	r := obs.NewRegistry()
+	var so obs.ShardedCacheObs
+	so.Init(4)
+	so.Register(r, "cache")
+	s, err := NewSharded(400, 4, func(int, int64) (Policy, error) {
+		front := AdmitterFunc(func(r Request) Decision {
+			if r.Key%2 == 0 {
+				return Reject(RejectDoorkeeper)
+			}
+			return Accepted
+		})
+		return WithAdmission(newTestLRU(), front), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.SetShardObs(i, so.Shard(i))
+	}
+	for i := 0; i < 200; i++ {
+		s.Handle(req(int64(i+1), Key(i), 1))
+	}
+	st := s.StatsSnapshot()
+	snap := make(map[string]int64)
+	for _, kv := range r.Snapshot() {
+		snap[kv.Name] = kv.Value
+	}
+	if got := snap["cache.admit_rejects."+RejectDoorkeeper]; got != st.Rejections || got != 100 {
+		t.Errorf("aggregated doorkeeper rejects = %d, Rejections = %d, want 100 each",
+			got, st.Rejections)
+	}
+}
+
+// ---- prefetch drain path ----
+
+// queuePrefetcher is a test policy with a scripted prefetch queue.
+type queuePrefetcher struct {
+	*testLRU
+	queue []Request
+}
+
+func (p *queuePrefetcher) NextPrefetch(now int64) (Request, bool) {
+	for len(p.queue) > 0 {
+		r := p.queue[0]
+		p.queue = p.queue[1:]
+		if r.Time <= now {
+			continue
+		}
+		r.Time = now
+		return r, true
+	}
+	return Request{}, false
+}
+
+// TestPrefetchCountersReconcile exercises the full prefetch lifecycle:
+// inserts land as resident prefetched entries, a later hit converts to
+// prefetch_hits, an eviction of an untouched entry converts to
+// prefetch_wasted, and at every point
+// inserts == hits + wasted + resident(gauge).
+func TestPrefetchCountersReconcile(t *testing.T) {
+	r := obs.NewRegistry()
+	var co obs.CacheObs
+	co.Register(r, "cache")
+	p := &queuePrefetcher{testLRU: newTestLRU()}
+	c := New(3, p)
+	c.SetObs(&co)
+
+	check := func(when string) {
+		t.Helper()
+		snap := make(map[string]int64)
+		for _, kv := range r.Snapshot() {
+			snap[kv.Name] = kv.Value
+		}
+		ins, hits := snap["cache.prefetch_inserts"], snap["cache.prefetch_hits"]
+		wasted, res := snap["cache.prefetch_wasted"], snap["cache.prefetch_resident"]
+		if ins != hits+wasted+res {
+			t.Errorf("%s: prefetch_inserts %d != hits %d + wasted %d + resident %d",
+				when, ins, hits, wasted, res)
+		}
+		st := c.Stats()
+		if st.Prefetches != ins || st.PrefetchHits != hits || st.PrefetchWasted != wasted {
+			t.Errorf("%s: stats (%d,%d,%d) != obs (%d,%d,%d)", when,
+				st.Prefetches, st.PrefetchHits, st.PrefetchWasted, ins, hits, wasted)
+		}
+	}
+
+	// Queue two warm-ups due in the future; the next request drains them.
+	p.queue = []Request{{Time: 100, Key: 50, Size: 1}, {Time: 100, Key: 51, Size: 1}}
+	c.Handle(req(10, 1, 1))
+	check("after drain")
+	if !c.Contains(50) || !c.Contains(51) {
+		t.Fatal("prefetched objects not resident")
+	}
+	st := c.Stats()
+	if st.Prefetches != 2 || st.Admissions != 1 {
+		t.Fatalf("prefetches=%d admissions=%d, want 2 and 1", st.Prefetches, st.Admissions)
+	}
+
+	// Hitting a prefetched object converts it to a prefetch hit (once).
+	c.Handle(req(11, 50, 1))
+	check("after prefetch hit")
+	c.Handle(req(12, 50, 1))
+	st = c.Stats()
+	if st.PrefetchHits != 1 {
+		t.Errorf("prefetch hits = %d, want 1 (flag clears on first hit)", st.PrefetchHits)
+	}
+
+	// Fill the cache so the untouched prefetched entry (51) is evicted:
+	// wasted, and not a one-hit wonder.
+	c.Handle(req(13, 2, 1))
+	c.Handle(req(14, 3, 1))
+	c.Handle(req(15, 4, 1))
+	check("after eviction churn")
+	st = c.Stats()
+	if st.PrefetchWasted == 0 {
+		t.Error("untouched prefetched entry never counted as wasted")
+	}
+	if st.Hits != 2 {
+		t.Errorf("hits = %d, want 2", st.Hits)
+	}
+	// The invariant Hits+Admissions+Rejections == Requests must hold
+	// with prefetches counted separately.
+	if st.Hits+st.Admissions+st.Rejections != st.Requests {
+		t.Errorf("request conservation broken: %+v", st)
+	}
+}
+
+// TestPrefetchStaleAndResidentSkipped: entries already due or already
+// resident are skipped without counting as inserts.
+func TestPrefetchStaleAndResidentSkipped(t *testing.T) {
+	p := &queuePrefetcher{testLRU: newTestLRU()}
+	c := New(10, p)
+	c.Handle(req(1, 9, 1)) // key 9 resident
+	p.queue = []Request{
+		{Time: 1, Key: 60, Size: 1},  // stale: due before now
+		{Time: 100, Key: 9, Size: 1}, // already resident
+	}
+	c.Handle(req(5, 9, 1))
+	st := c.Stats()
+	if st.Prefetches != 0 {
+		t.Errorf("prefetches = %d, want 0 (stale + resident are skipped)", st.Prefetches)
+	}
+	if len(p.queue) != 0 {
+		t.Errorf("queue not drained: %d left", len(p.queue))
+	}
+}
+
+// TestPrefetchDrainBounded: at most maxPrefetchPerObserve insertions
+// per observed request, the rest stay queued.
+func TestPrefetchDrainBounded(t *testing.T) {
+	p := &queuePrefetcher{testLRU: newTestLRU()}
+	c := New(100, p)
+	for i := 0; i < 10; i++ {
+		p.queue = append(p.queue, Request{Time: 1000, Key: Key(70 + i), Size: 1})
+	}
+	c.Handle(req(1, 1, 1))
+	if got := c.Stats().Prefetches; got != maxPrefetchPerObserve {
+		t.Errorf("prefetches after one request = %d, want %d", got, maxPrefetchPerObserve)
+	}
+	if len(p.queue) != 10-maxPrefetchPerObserve {
+		t.Errorf("queue length %d, want %d", len(p.queue), 10-maxPrefetchPerObserve)
+	}
+	c.Handle(req(2, 1, 1))
+	if got := c.Stats().Prefetches; got != 8 {
+		t.Errorf("prefetches after two requests = %d, want 8", got)
+	}
+}
+
+// TestFrontedStatsStayConserved runs a randomized workload through a
+// fronted cache (sketch admission) and checks engine conservation.
+func TestFrontedStatsStayConserved(t *testing.T) {
+	c := New(50, WithAdmission(newTestLRU(), NewSketchAdmitter(64, 0, 0)))
+	for i := 0; i < 5000; i++ {
+		k := Key(i % 97)
+		c.Handle(req(int64(i+1), k, 1+int64(k%5)))
+	}
+	st := c.Stats()
+	if st.Hits+st.Admissions+st.Rejections != st.Requests {
+		t.Errorf("conservation broken: %+v", st)
+	}
+	if st.Rejections == 0 || st.Admissions == 0 {
+		t.Errorf("degenerate workload: %+v", st)
+	}
+}

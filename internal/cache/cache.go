@@ -49,11 +49,16 @@ type Policy interface {
 	Victim() (key Key, ok bool)
 }
 
-// Admitter is an optional Policy extension implementing admission
-// control (e.g. AdaptSize, ThLRU): a missed object is inserted only if
-// ShouldAdmit returns true.
-type Admitter interface {
-	ShouldAdmit(req Request) bool
+// Prefetcher is an optional Policy extension for policies that
+// maintain a prefetch queue (core.Raven): after each request the
+// engine drains up to maxPrefetchPerObserve pending warm-ups via
+// NextPrefetch and inserts them. now is the virtual clock of the
+// request that triggered the drain; implementations must be driven by
+// it alone (no wall clock) so replays stay bit-exact.
+type Prefetcher interface {
+	// NextPrefetch pops the next object to warm, or ok=false when
+	// nothing is pending at now.
+	NextPrefetch(now int64) (req Request, ok bool)
 }
 
 // Footprinter is an optional Policy extension reporting the per-object
@@ -88,6 +93,15 @@ type Stats struct {
 	// Sets counts explicit store operations (the server's SET command);
 	// they do not contribute to Requests/Hits, which measure lookups.
 	Sets int64
+	// Prefetches counts policy-initiated warm-up insertions (they are
+	// not Admissions: no request triggered them). PrefetchHits counts
+	// prefetched objects whose next lookup hit; PrefetchWasted counts
+	// prefetched objects evicted without ever being hit (those are
+	// excluded from OneHitWonders, which measures admitted-after-miss
+	// objects).
+	Prefetches     int64
+	PrefetchHits   int64
+	PrefetchWasted int64
 }
 
 // Add accumulates o into s field by field. The sharded engine merges
@@ -103,6 +117,9 @@ func (s *Stats) Add(o Stats) {
 	s.Admissions += o.Admissions
 	s.Rejections += o.Rejections
 	s.Sets += o.Sets
+	s.Prefetches += o.Prefetches
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchWasted += o.PrefetchWasted
 }
 
 // Misses returns the lookups that did not hit.
@@ -130,6 +147,9 @@ func (s Stats) MissBytes() int64 { return s.ReqBytes - s.HitBytes }
 type entry struct {
 	size int64
 	hits int64
+	// prefetched marks entries inserted by the prefetch drain and not
+	// yet hit; it drives the prefetch_hits/prefetch_wasted accounting.
+	prefetched bool
 }
 
 // Cache couples a Policy with capacity accounting.
@@ -138,9 +158,12 @@ type Cache struct {
 	used     int64
 	entries  map[Key]entry
 	policy   Policy
-	stats    Stats
-	observer func(victim Key)
-	obs      *obs.CacheObs
+	// prefetcher is the policy's Prefetcher extension, resolved once at
+	// construction so the per-request drain check is a nil test.
+	prefetcher Prefetcher
+	stats      Stats
+	observer   func(victim Key)
+	obs        *obs.CacheObs
 }
 
 // SetEvictionObserver registers fn, invoked with every victim just
@@ -169,11 +192,13 @@ func New(capacity int64, policy Policy) *Cache {
 	if policy == nil {
 		panic("cache: nil policy") //lint:allow no-panic nil policy is a construction-time programmer error
 	}
-	return &Cache{
+	c := &Cache{
 		capacity: capacity,
 		entries:  make(map[Key]entry, 1024),
 		policy:   policy,
 	}
+	c.prefetcher, _ = policy.(Prefetcher)
+	return c
 }
 
 // Capacity returns the configured capacity in bytes.
@@ -235,15 +260,25 @@ func (c *Cache) Handle(req Request) bool {
 		c.stats.Hits++
 		c.stats.HitBytes += req.Size
 		e.hits++
+		if e.prefetched {
+			e.prefetched = false
+			c.stats.PrefetchHits++
+			if c.obs != nil {
+				c.obs.PrefetchHits.Inc()
+				c.obs.PrefetchResident.Add(-1)
+			}
+		}
 		c.entries[req.Key] = e
 		if c.obs != nil {
 			c.obs.Hits.Inc()
 		}
 		c.policy.OnHit(req)
+		c.drainPrefetch(req.Time)
 		return true
 	}
 	c.policy.OnMiss(req)
 	c.admit(req)
+	c.drainPrefetch(req.Time)
 	return false
 }
 
@@ -252,17 +287,17 @@ func (c *Cache) Handle(req Request) bool {
 // insertion, and accounting. It reports whether req was inserted.
 func (c *Cache) admit(req Request) bool {
 	if req.Size > c.capacity {
-		c.reject()
+		c.reject(RejectTooLarge)
 		return false
 	}
-	if adm, ok := c.policy.(Admitter); ok && !adm.ShouldAdmit(req) {
-		c.reject()
+	if d := PolicyAdmit(c.policy, req); !d.Admit {
+		c.reject(d.Reason)
 		return false
 	}
 	for c.used+req.Size > c.capacity {
 		victim, ok := c.policy.Victim()
 		if !ok {
-			c.reject()
+			c.reject(RejectNoVictim)
 			return false
 		}
 		c.evict(victim)
@@ -295,18 +330,74 @@ func (c *Cache) Set(req Request) bool {
 	if e, ok := c.entries[req.Key]; ok {
 		if e.size == req.Size {
 			c.policy.OnHit(req)
+			c.drainPrefetch(req.Time)
 			return true
 		}
 		c.evict(req.Key)
 	}
 	c.policy.OnMiss(req)
-	return c.admit(req)
+	admitted := c.admit(req)
+	c.drainPrefetch(req.Time)
+	return admitted
 }
 
-func (c *Cache) reject() {
+// reject counts a refused admission under the given reason (one of the
+// Reject* constants; anything else reconciles under "other").
+func (c *Cache) reject(reason string) {
 	c.stats.Rejections++
 	if c.obs != nil {
-		c.obs.Rejections.Inc()
+		c.obs.AdmitReject(reason)
+	}
+}
+
+// maxPrefetchPerObserve bounds how many queued warm-ups one request
+// drains, so a burst of predictions cannot stall the serving path.
+const maxPrefetchPerObserve = 4
+
+// drainPrefetch pops pending warm-ups from the policy's prefetch queue
+// and inserts them. It runs after every request on the request's own
+// virtual timestamp, so the drain schedule is a pure function of the
+// trace.
+func (c *Cache) drainPrefetch(now int64) {
+	if c.prefetcher == nil {
+		return
+	}
+	for i := 0; i < maxPrefetchPerObserve; i++ {
+		preq, ok := c.prefetcher.NextPrefetch(now)
+		if !ok {
+			return
+		}
+		if _, resident := c.entries[preq.Key]; resident {
+			continue
+		}
+		c.prefetchInsert(preq)
+	}
+}
+
+// prefetchInsert warms one predicted object: the same eviction loop as
+// admit, but no admission checks (the policy itself asked for it) and
+// separate accounting (Prefetches, not Admissions — no request
+// triggered the insert).
+func (c *Cache) prefetchInsert(req Request) {
+	if req.Size > c.capacity {
+		return
+	}
+	for c.used+req.Size > c.capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			return
+		}
+		c.evict(victim)
+	}
+	c.entries[req.Key] = entry{size: req.Size, prefetched: true}
+	c.used += req.Size
+	c.stats.Prefetches++
+	c.policy.OnAdmit(req)
+	if c.obs != nil {
+		c.obs.PrefetchInserts.Inc()
+		c.obs.PrefetchResident.Add(1)
+		c.obs.UsedBytes.Set(c.used)
+		c.obs.Objects.Set(int64(len(c.entries)))
 	}
 }
 
@@ -322,7 +413,15 @@ func (c *Cache) evict(key Key) {
 	delete(c.entries, key)
 	c.used -= e.size
 	c.stats.Evictions++
-	if e.hits == 0 {
+	if e.prefetched {
+		// Never hit since its warm-up: the prefetch was wasted. Not a
+		// one-hit wonder — no request ever admitted it.
+		c.stats.PrefetchWasted++
+		if c.obs != nil {
+			c.obs.PrefetchWasted.Inc()
+			c.obs.PrefetchResident.Add(-1)
+		}
+	} else if e.hits == 0 {
 		c.stats.OneHitWonders++
 	}
 	if c.obs != nil {

@@ -148,6 +148,14 @@ type Config struct {
 	// resumes from the newest valid one at construction.
 	Checkpoint CheckpointConfig
 
+	// Prefetch, when Horizon is positive, arms the MDN-driven prefetch
+	// queue (prefetch.go): an evicted object whose predicted next
+	// arrival falls inside the horizon is queued for re-warming, and
+	// the cache engine drains the queue after each request. Driven
+	// entirely by the trace's virtual clock, so replays are bit-exact
+	// for every Workers value. Off by default.
+	Prefetch PrefetchConfig
+
 	// TrainFaultWindows stops applying Train.Faults after this many
 	// training windows (0 = inject for as long as Faults is set).
 	// Fault-drill/test hook, like Train.Faults itself.
@@ -158,6 +166,17 @@ type Config struct {
 	Obs *obs.RavenObs
 
 	Seed int64
+}
+
+// PrefetchConfig configures the MDN-driven prefetch queue.
+type PrefetchConfig struct {
+	// Horizon is the virtual-clock window: an evicted object predicted
+	// to return within Horizon ticks is queued for re-warming. 0
+	// disables prefetching entirely.
+	Horizon int64
+	// MaxQueue bounds the pending queue (default 256); when full the
+	// incoming entry is dropped, keeping memory and drain work bounded.
+	MaxQueue int
 }
 
 // CheckpointConfig configures model persistence (internal/nn/ckpt).
@@ -219,6 +238,9 @@ func (c *Config) defaults() {
 	}
 	if c.Checkpoint.Every == 0 {
 		c.Checkpoint.Every = 1
+	}
+	if c.Prefetch.MaxQueue == 0 {
+		c.Prefetch.MaxQueue = 256
 	}
 	if c.Train.Seed == 0 {
 		c.Train.Seed = c.Seed + 1

@@ -85,6 +85,14 @@ type Raven struct {
 	scrIn    []nn.PredictInput
 	scrCum   []float64
 
+	// Prefetch state (prefetch.go): the bounded queue of predicted
+	// re-arrivals, the cascade-suppression flag set while the engine
+	// drains it, and the persistent mixture scratch for the
+	// closed-form next-arrival predictions (no RNG draws).
+	pfq      []prefetchEntry
+	draining bool
+	predMix  nn.Mixture
+
 	// Model-lifecycle state (health.go): the health state machine,
 	// the consecutive-guard-trip counter that drives it, lifecycle
 	// metrics, and the checkpoint store.
@@ -247,6 +255,7 @@ func (r *Raven) observe(req cache.Request) {
 		r.window.reset(req.Time)
 	}
 	r.now = req.Time
+	r.draining = false // any aborted prefetch insertion is over by the next request
 	r.window.record(req)
 
 	h, ok := r.hists[req.Key]
@@ -433,17 +442,27 @@ func (r *Raven) OnHit(req cache.Request) {
 // OnMiss implements cache.Policy.
 func (r *Raven) OnMiss(req cache.Request) { r.observe(req) }
 
-// OnAdmit implements cache.Policy.
+// OnAdmit implements cache.Policy. Prefetch insertions arrive here
+// without a preceding OnMiss, and the object's history may have been
+// GC'd while it sat in the queue, so a missing entry is recreated.
 func (r *Raven) OnAdmit(req cache.Request) {
-	h := r.hists[req.Key] // created by the preceding OnMiss
+	h, ok := r.hists[req.Key] // created by the preceding OnMiss
+	if !ok {
+		h = &objHist{lastSeen: req.Time, size: req.Size, embVersion: -1, scoreVer: -1}
+		r.hists[req.Key] = h
+	}
 	h.elem = r.ll.PushFront(req.Key)
 	r.set.Add(req.Key, h)
+	r.draining = false // the prefetch insertion (if any) has landed
 }
 
 // OnEvict implements cache.Policy. The object's history survives
-// eviction; only residency state is dropped.
+// eviction; only residency state is dropped — and, with prefetching
+// armed, the evictee is considered for the re-warm queue while its
+// history is still at hand.
 func (r *Raven) OnEvict(key cache.Key) {
 	if h, ok := r.set.Get(key); ok {
+		r.maybeEnqueuePrefetch(key, h)
 		r.ll.Remove(h.elem)
 		h.elem = nil
 		r.set.Remove(key)

@@ -270,7 +270,7 @@ var All = []string{
 	"fig9", "fig10", "tab2", "fig11", "fig12", "tab3", "tab4",
 	"tab5", "tab6", "tab7", "tab8",
 	"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"fig19", "fig20", "fig21", "ablations", "overhead",
+	"fig19", "fig20", "fig21", "ablations", "overhead", "admission",
 }
 
 // Run executes one experiment by ID.
@@ -305,6 +305,7 @@ func (r *Runner) Run(id string) (*Report, error) {
 		"fig21":     r.Fig21,
 		"ablations": r.Ablations,
 		"overhead":  r.Overhead,
+		"admission": r.Admission,
 	}
 	fn, ok := fns[id]
 	if !ok {

@@ -265,8 +265,10 @@ propagation through local variables, control-dependence taint
 value flow through stdlib calls and conversions.
 
 Decision sinks are the policy decision functions, identified by shape:
-methods named Victim returning (candidate, bool) and methods named
-ShouldAdmit returning bool. A finding means a nondeterministic source
+methods named Victim returning (candidate, bool), methods named Admit
+returning a single named struct type (the typed admission seam,
+cache.Decision), and methods named ShouldAdmit returning bool (the
+legacy boolean seam). A finding means a nondeterministic source
 can reach the decision's return value; it names the source site. Two
 deliberate exclusions keep instrumentation clean: arguments do not
 flow through in-module calls (so passing a latency sample into a
@@ -280,7 +282,10 @@ taint).`,
 }
 
 // decisionSink reports whether n is a policy decision function by
-// shape: Victim() (T, bool) methods or ShouldAdmit(...) bool.
+// shape: Victim() (T, bool) methods, Admit(...) Decision methods (the
+// typed admission seam — a single named-struct result), or
+// ShouldAdmit(...) bool methods (the legacy boolean seam, still
+// covered so out-of-tree policies on the shim stay checked).
 func decisionSink(n *FuncNode) bool {
 	if n.Decl == nil || n.Obj == nil || n.Decl.Recv == nil {
 		return false
@@ -299,6 +304,16 @@ func decisionSink(n *FuncNode) bool {
 		return res.Len() == 2 && isBool(res.At(1).Type())
 	case "ShouldAdmit":
 		return res.Len() == 1 && isBool(res.At(0).Type())
+	case "Admit":
+		if res.Len() != 1 {
+			return false
+		}
+		named, ok := res.At(0).Type().(*types.Named)
+		if !ok {
+			return false
+		}
+		_, isStruct := named.Underlying().(*types.Struct)
+		return isStruct && named.Obj().Name() == "Decision"
 	}
 	return false
 }

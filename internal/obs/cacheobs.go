@@ -2,6 +2,36 @@ package obs
 
 import "fmt"
 
+// Canonical admission-reject reasons. They are defined here — rather
+// than in the cache package, which imports obs — so the engine's typed
+// decisions and the per-reason metric names always agree. Every reason
+// the engine can emit maps to exactly one cache.admit_rejects.<reason>
+// counter; anything else lands in "other" so the per-reason counters
+// always sum to cache.rejections exactly.
+const (
+	// ReasonTooLarge: the object exceeds the cache's total capacity.
+	ReasonTooLarge = "too_large"
+	// ReasonNoVictim: the policy had nothing evictable to make room.
+	ReasonNoVictim = "no_victim"
+	// ReasonPolicy: a legacy boolean admitter (TinyLFU duel, AdaptSize,
+	// LHR admission) refused without giving a structured reason.
+	ReasonPolicy = "policy"
+	// ReasonSizeThreshold: a static size-threshold admitter (ThLRU)
+	// refused an over-threshold object.
+	ReasonSizeThreshold = "size_threshold"
+	// ReasonDoorkeeper: first sighting within the doorkeeper period —
+	// the one-hit-wonder filter absorbed the object.
+	ReasonDoorkeeper = "doorkeeper"
+	// ReasonFrequency: seen before, but the sketched frequency is still
+	// below the admission threshold.
+	ReasonFrequency = "frequency"
+	// ReasonPredictedReuse: the MDN predicts the next arrival beyond
+	// the object's expected cache lifetime.
+	ReasonPredictedReuse = "predicted_reuse"
+	// ReasonOther: any reason string outside the canonical set.
+	ReasonOther = "other"
+)
+
 // CacheObs is the cache engine's observability surface: occupancy
 // gauges plus the request/eviction counters operators watch. The
 // engine updates it inline (a handful of atomic ops per request, no
@@ -19,6 +49,54 @@ type CacheObs struct {
 	Admissions Counter
 	Rejections Counter
 	Sets       Counter
+
+	// Per-reason admission rejects. The reasons are a fixed enum of
+	// counters (not a map) so the hot path stays a single atomic op and
+	// snapshots register in a fixed order; they sum to Rejections
+	// exactly because every reject bumps exactly one of them.
+	RejTooLarge      Counter
+	RejNoVictim      Counter
+	RejPolicy        Counter
+	RejSizeThreshold Counter
+	RejDoorkeeper    Counter
+	RejFrequency     Counter
+	RejReuse         Counter
+	RejOther         Counter
+
+	// Prefetch accounting: inserts performed, prefetched objects later
+	// hit, prefetched objects evicted without a hit, and the gauge of
+	// prefetched objects still resident and unused — so at any quiescent
+	// point PrefetchInserts == PrefetchHits + PrefetchWasted +
+	// PrefetchResident exactly.
+	PrefetchInserts  Counter
+	PrefetchHits     Counter
+	PrefetchWasted   Counter
+	PrefetchResident Gauge
+}
+
+// AdmitReject bumps the total rejection counter plus the per-reason
+// counter matching reason (canonical strings above; anything else
+// counts as "other").
+func (co *CacheObs) AdmitReject(reason string) {
+	co.Rejections.Inc()
+	switch reason {
+	case ReasonTooLarge:
+		co.RejTooLarge.Inc()
+	case ReasonNoVictim:
+		co.RejNoVictim.Inc()
+	case ReasonPolicy:
+		co.RejPolicy.Inc()
+	case ReasonSizeThreshold:
+		co.RejSizeThreshold.Inc()
+	case ReasonDoorkeeper:
+		co.RejDoorkeeper.Inc()
+	case ReasonFrequency:
+		co.RejFrequency.Inc()
+	case ReasonPredictedReuse:
+		co.RejReuse.Inc()
+	default:
+		co.RejOther.Inc()
+	}
 }
 
 // Register adds every CacheObs metric to r under prefix (e.g.
@@ -32,6 +110,18 @@ func (co *CacheObs) Register(r *Registry, prefix string) {
 	r.adoptCounter(prefix+".admissions", &co.Admissions)
 	r.adoptCounter(prefix+".rejections", &co.Rejections)
 	r.adoptCounter(prefix+".sets", &co.Sets)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonTooLarge, &co.RejTooLarge)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonNoVictim, &co.RejNoVictim)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonPolicy, &co.RejPolicy)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonSizeThreshold, &co.RejSizeThreshold)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonDoorkeeper, &co.RejDoorkeeper)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonFrequency, &co.RejFrequency)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonPredictedReuse, &co.RejReuse)
+	r.adoptCounter(prefix+".admit_rejects."+ReasonOther, &co.RejOther)
+	r.adoptCounter(prefix+".prefetch_inserts", &co.PrefetchInserts)
+	r.adoptCounter(prefix+".prefetch_hits", &co.PrefetchHits)
+	r.adoptCounter(prefix+".prefetch_wasted", &co.PrefetchWasted)
+	r.adoptGauge(prefix+".prefetch_resident", &co.PrefetchResident)
 }
 
 // ShardedCacheObs is the observability surface of a sharded cache
@@ -85,6 +175,18 @@ func (so *ShardedCacheObs) Register(r *Registry, prefix string) {
 	r.RegisterFunc(prefix+".admissions", so.sum(func(c *CacheObs) int64 { return c.Admissions.Load() }))
 	r.RegisterFunc(prefix+".rejections", so.sum(func(c *CacheObs) int64 { return c.Rejections.Load() }))
 	r.RegisterFunc(prefix+".sets", so.sum(func(c *CacheObs) int64 { return c.Sets.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonTooLarge, so.sum(func(c *CacheObs) int64 { return c.RejTooLarge.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonNoVictim, so.sum(func(c *CacheObs) int64 { return c.RejNoVictim.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonPolicy, so.sum(func(c *CacheObs) int64 { return c.RejPolicy.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonSizeThreshold, so.sum(func(c *CacheObs) int64 { return c.RejSizeThreshold.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonDoorkeeper, so.sum(func(c *CacheObs) int64 { return c.RejDoorkeeper.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonFrequency, so.sum(func(c *CacheObs) int64 { return c.RejFrequency.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonPredictedReuse, so.sum(func(c *CacheObs) int64 { return c.RejReuse.Load() }))
+	r.RegisterFunc(prefix+".admit_rejects."+ReasonOther, so.sum(func(c *CacheObs) int64 { return c.RejOther.Load() }))
+	r.RegisterFunc(prefix+".prefetch_inserts", so.sum(func(c *CacheObs) int64 { return c.PrefetchInserts.Load() }))
+	r.RegisterFunc(prefix+".prefetch_hits", so.sum(func(c *CacheObs) int64 { return c.PrefetchHits.Load() }))
+	r.RegisterFunc(prefix+".prefetch_wasted", so.sum(func(c *CacheObs) int64 { return c.PrefetchWasted.Load() }))
+	r.RegisterFunc(prefix+".prefetch_resident", so.sum(func(c *CacheObs) int64 { return c.PrefetchResident.Load() }))
 	for i, s := range so.shards {
 		s.Register(r, fmt.Sprintf("%s.shard%d", prefix, i))
 	}

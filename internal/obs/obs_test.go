@@ -182,7 +182,8 @@ func TestCacheObsRegister(t *testing.T) {
 	if got["cache.requests"] != 1 || got["cache.used_bytes"] != 64 {
 		t.Errorf("snapshot %v", got)
 	}
-	if len(kvs) != 8 {
-		t.Errorf("want 8 cache metrics, got %d", len(kvs))
+	// 8 original metrics + 8 admit_rejects.<reason> + 4 prefetch.
+	if len(kvs) != 20 {
+		t.Errorf("want 20 cache metrics, got %d", len(kvs))
 	}
 }

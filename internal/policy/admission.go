@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"fmt"
+
+	"raven/internal/cache"
+)
+
+// Admission modes accepted by AdmissionOptions.Mode (and the binaries'
+// -admit flag).
+const (
+	// AdmitOff disables the front-end (the default; also "").
+	AdmitOff = "off"
+	// AdmitDoorkeeper fronts the policy with the CM-sketch + Bloom
+	// doorkeeper frequency filter alone (cache.SketchAdmitter).
+	AdmitDoorkeeper = "doorkeeper"
+	// AdmitLearned chains the doorkeeper with the MDN predicted-reuse
+	// check (cache.ReuseAdmitter): an object whose predicted next
+	// arrival falls beyond its expected cache lifetime is rejected.
+	// Requires a policy that implements cache.ReusePredictor (Raven).
+	AdmitLearned = "learned"
+)
+
+// AdmissionOptions groups the admission front-end knobs of Options.
+// The zero value is off and leaves the built policy untouched, so
+// replays without admission are bit-identical to builds that predate
+// the front-end. All state the pipeline keeps (sketch counters,
+// doorkeeper bits, the online lifetime estimate) is derived from the
+// request stream alone — no wall clock, no RNG — so fronted replays
+// are deterministic and bit-exact for every Workers value.
+type AdmissionOptions struct {
+	// Mode selects the pipeline: "" or AdmitOff disables it,
+	// AdmitDoorkeeper installs the frequency front, AdmitLearned chains
+	// the frequency front with the predicted-reuse check.
+	Mode string
+	// MinFreq is the sketch frequency an object needs to be admitted
+	// (0 = 2: the doorkeeper absorbs the first sighting, the second
+	// passes).
+	MinFreq uint32
+	// Entries overrides the sketch/doorkeeper sizing (0 derives it from
+	// Capacity like the TinyLFU policy does, so shards size their
+	// fronts from their own slice of the cache).
+	Entries int
+	// HalveEvery is the deterministic sketch aging period in sketch
+	// increments (0 = 16x entries, TinyLFU's sample-to-size ratio).
+	HalveEvery uint64
+	// LifetimeSlack scales the predicted-reuse bound (<= 0 = 1); larger
+	// values admit more speculative objects. Only used by AdmitLearned.
+	LifetimeSlack float64
+}
+
+// PrefetchOptions groups the prefetch knobs of Options; they flow into
+// core.Config.Prefetch for policies that maintain a prefetch queue
+// (Raven). The zero value is off.
+type PrefetchOptions struct {
+	// Horizon is the virtual-clock window: an evicted object predicted
+	// to return within Horizon ticks is queued for re-warming. 0
+	// disables prefetching.
+	Horizon int64
+	// MaxQueue bounds the pending queue (0 = 256).
+	MaxQueue int
+}
+
+// front wraps p with the configured admission pipeline. Off returns p
+// unchanged; unknown modes and learned-mode requests for policies that
+// cannot predict reuse fail loudly rather than silently admitting all.
+func (a AdmissionOptions) front(p cache.Policy, o Options) (cache.Policy, error) {
+	switch a.Mode {
+	case "", AdmitOff:
+		return p, nil
+	case AdmitDoorkeeper:
+		return cache.WithAdmission(p, a.sketch(o)), nil
+	case AdmitLearned:
+		pred, ok := cache.Unwrap(p).(cache.ReusePredictor)
+		if !ok {
+			return nil, fmt.Errorf("policy: admission mode %q needs a policy that predicts reuse (raven/raven-ohr), got %s",
+				a.Mode, p.Name())
+		}
+		return cache.WithAdmission(p,
+			a.sketch(o),
+			cache.NewReuseAdmitter(pred, o.Capacity, a.LifetimeSlack),
+		), nil
+	}
+	return nil, fmt.Errorf("policy: unknown admission mode %q (known: off, doorkeeper, learned)", a.Mode)
+}
+
+// sketch builds the frequency front sized for this instance's capacity.
+func (a AdmissionOptions) sketch(o Options) *cache.SketchAdmitter {
+	entries := a.Entries
+	if entries == 0 {
+		entries = o.entries()
+	}
+	return cache.NewSketchAdmitter(entries, a.MinFreq, a.HalveEvery)
+}

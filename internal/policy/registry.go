@@ -66,6 +66,16 @@ type Options struct {
 	ScoreCache     bool
 	Inference32    bool
 	DecisionBudget time.Duration
+	// Admission configures the admission front-end attached in front of
+	// the built policy (admission.go). The zero value is off: nothing
+	// is wrapped and replays are bit-identical to an admission-less
+	// build. Derived per shard/node exactly like Seed: the pipeline is
+	// built per instance from the shard's own Capacity and Seed.
+	Admission AdmissionOptions
+	// Prefetch arms Raven's MDN-driven prefetch queue
+	// (core.Config.Prefetch). Policies without a prefetch queue ignore
+	// it. The zero value is off.
+	Prefetch PrefetchOptions
 	// Raven optionally overrides the default Raven configuration; its
 	// TrainWindow/Goal/Seed are filled from this Options if zero.
 	Raven *core.Config
@@ -123,6 +133,12 @@ func (o Options) ravenConfig(goal core.Goal) core.Config {
 	}
 	if cfg.DecisionBudget == 0 {
 		cfg.DecisionBudget = o.DecisionBudget
+	}
+	if cfg.Prefetch.Horizon == 0 {
+		cfg.Prefetch.Horizon = o.Prefetch.Horizon
+	}
+	if cfg.Prefetch.MaxQueue == 0 {
+		cfg.Prefetch.MaxQueue = o.Prefetch.MaxQueue
 	}
 	return cfg
 }
@@ -188,12 +204,20 @@ var builders = map[string]Factory{}
 // Register adds a named policy constructor to the registry and returns
 // it as a reusable Factory. Registering a taken name panics: two
 // packages claiming one name is a programmer error that must fail
-// loudly at init time, not shadow silently.
+// loudly at init time, not shadow silently. Every registered factory
+// is post-processed through Options.Admission (admission.go), so the
+// front-end composes with any policy without per-policy wiring.
 func Register(name string, build func(o Options) (cache.Policy, error)) Factory {
 	if _, dup := builders[name]; dup {
 		panic(fmt.Sprintf("policy: duplicate registration of %q", name)) //lint:allow no-panic duplicate registration is an init-time programmer error
 	}
-	f := Factory(build)
+	f := Factory(func(o Options) (cache.Policy, error) {
+		p, err := build(o)
+		if err != nil {
+			return nil, err
+		}
+		return o.Admission.front(p, o)
+	})
 	builders[name] = f
 	return f
 }

@@ -71,11 +71,13 @@ func TestSizeThresholdAdmission(t *testing.T) {
 	}
 	small := cache.Request{Key: 1, Size: 10}
 	big := cache.Request{Key: 2, Size: 500}
-	if !adm.ShouldAdmit(small) {
-		t.Error("small object should be admitted")
+	if d := adm.Admit(small); !d.Admit {
+		t.Errorf("small object should be admitted, got reject %q", d.Reason)
 	}
-	if adm.ShouldAdmit(big) { // threshold = capacity/50 = 20
+	if d := adm.Admit(big); d.Admit { // threshold = capacity/50 = 20
 		t.Error("big object should be rejected")
+	} else if d.Reason != cache.RejectSizeThreshold {
+		t.Errorf("reject reason %q, want %q", d.Reason, cache.RejectSizeThreshold)
 	}
 	if p.Name() != "thlru" {
 		t.Errorf("name %q", p.Name())

@@ -20,13 +20,17 @@ func WithSizeThreshold(inner cache.Policy, max int64) *SizeThreshold {
 // Name implements cache.Policy.
 func (t *SizeThreshold) Name() string { return t.name }
 
-// ShouldAdmit implements cache.Admitter.
-func (t *SizeThreshold) ShouldAdmit(req cache.Request) bool {
+// Admit implements cache.Admitter: the inner policy's admission runs
+// first (typed or legacy, via cache.PolicyAdmit), then the size bound.
+func (t *SizeThreshold) Admit(req cache.Request) cache.Decision {
 	if t.Max <= 0 {
-		return true
+		return cache.Accepted
 	}
-	if adm, ok := t.Policy.(cache.Admitter); ok && !adm.ShouldAdmit(req) {
-		return false
+	if d := cache.PolicyAdmit(t.Policy, req); !d.Admit {
+		return d
 	}
-	return req.Size <= t.Max
+	if req.Size > t.Max {
+		return cache.Reject(cache.RejectSizeThreshold)
+	}
+	return cache.Accepted
 }

@@ -113,7 +113,7 @@ type evictTimer struct {
 }
 
 // timedPolicy decorates a policy, measuring Victim wall time and
-// forwarding the optional Admitter/Flusher extensions.
+// forwarding the optional Admitter/Flusher/Prefetcher extensions.
 type timedPolicy struct {
 	cache.Policy
 	t *evictTimer
@@ -136,11 +136,15 @@ func (t *timedPolicy) Victim() (cache.Key, bool) {
 	return k, ok
 }
 
-func (t *timedPolicy) ShouldAdmit(req cache.Request) bool {
-	if adm, ok := t.Policy.(cache.Admitter); ok {
-		return adm.ShouldAdmit(req)
+func (t *timedPolicy) Admit(req cache.Request) cache.Decision {
+	return cache.PolicyAdmit(t.Policy, req)
+}
+
+func (t *timedPolicy) NextPrefetch(now int64) (cache.Request, bool) {
+	if pf, ok := t.Policy.(cache.Prefetcher); ok {
+		return pf.NextPrefetch(now)
 	}
-	return true
+	return cache.Request{}, false
 }
 
 func (t *timedPolicy) Flush() {

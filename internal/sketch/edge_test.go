@@ -1,0 +1,98 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases of the counting substrate the admission front-end leans
+// on: construction validation, counter saturation vs. the aging clock,
+// the OnAge lockstep hook, and the doorkeeper's false-positive bound.
+
+func TestCountMinRejectsBadDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{0, 64}, {4, 0}, {-1, 64}, {4, -8}, {0, 0}} {
+		rows, width := dims[0], dims[1]
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCountMin(%d, %d) did not panic", rows, width)
+				}
+			}()
+			NewCountMin(rows, width, 0)
+		}()
+	}
+}
+
+// TestCountMinSaturationAdvancesAging is the regression test for the
+// aging seam: a saturated increment (all of the key's counters at
+// MaxUint8) cannot raise a counter, but it must still advance the
+// aging clock. The old early return froze aging exactly when the
+// sketch filled up, so stale popularity persisted for the rest of a
+// long replay.
+func TestCountMinSaturationAdvancesAging(t *testing.T) {
+	cm := NewCountMin(2, 64, 0)
+	const hot = uint64(42)
+	for i := 0; i < 2*math.MaxUint8; i++ {
+		cm.Add(hot)
+	}
+	if got := cm.Estimate(hot); got != math.MaxUint8 {
+		t.Fatalf("estimate %d, want saturation at %d", got, math.MaxUint8)
+	}
+	if got := cm.Adds(); got != 2*math.MaxUint8 {
+		t.Errorf("saturated adds stopped the aging clock: adds=%d, want %d", got, 2*math.MaxUint8)
+	}
+
+	// With aging armed, the saturated stream alone must trigger the
+	// halving.
+	cm2 := NewCountMin(2, 64, 300)
+	aged := 0
+	cm2.OnAge = func() { aged++ }
+	for i := 0; i < 600; i++ {
+		cm2.Add(hot)
+	}
+	if aged != 2 {
+		t.Errorf("aged %d times over 600 saturated adds with ResetAt=300, want 2", aged)
+	}
+	if got := cm2.Estimate(hot); got >= math.MaxUint8 {
+		t.Errorf("estimate %d still saturated after halvings", got)
+	}
+}
+
+func TestCountMinHalveRunsOnAge(t *testing.T) {
+	cm := NewCountMin(4, 128, 0)
+	ran := false
+	cm.OnAge = func() { ran = true }
+	cm.Add(7)
+	cm.Add(7)
+	cm.Halve()
+	if !ran {
+		t.Error("Halve did not run OnAge")
+	}
+	if got := cm.Estimate(7); got != 1 {
+		t.Errorf("estimate after halving = %d, want 1", got)
+	}
+	if cm.Adds() != 0 {
+		t.Errorf("adds not reset by Halve: %d", cm.Adds())
+	}
+}
+
+// TestBloomFalsePositiveBound checks the doorkeeper's design point: at
+// its rated capacity the false-positive rate stays in the low single
+// digits (sized for ~1%, asserted at <3% to keep the test stable).
+func TestBloomFalsePositiveBound(t *testing.T) {
+	const n = 4096
+	b := NewBloom(n)
+	for k := uint64(0); k < n-1; k++ { // stay below cap: no self-reset
+		b.AddIfMissing(k)
+	}
+	fp := 0
+	const probes = 20000
+	for k := uint64(1 << 32); k < 1<<32+probes; k++ {
+		if b.Contains(k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Errorf("false-positive rate %.4f at capacity, want < 0.03", rate)
+	}
+}

@@ -27,8 +27,16 @@ type CountMin struct {
 	counts [][]uint8
 	adds   uint64
 	// ResetAt halves all counters after this many increments (0
-	// disables aging).
+	// disables aging). Saturated increments (all of the key's counters
+	// at MaxUint8) cannot raise a counter but still count toward the
+	// period: a saturated sketch is exactly the one that must keep
+	// aging, or stale popularity would be frozen in forever.
 	ResetAt uint64
+	// OnAge, when non-nil, runs after every periodic halving — the
+	// TinyLFU-style hook that lets a paired doorkeeper reset in
+	// lockstep, so its "seen once" bits decay with the counters they
+	// top up.
+	OnAge func()
 }
 
 // NewCountMin creates a sketch with the given depth (rows) and width
@@ -54,7 +62,10 @@ func (cm *CountMin) idx(row int, key uint64) uint64 {
 }
 
 // Add increments key's counters (conservative update: only the
-// minimal counters grow) and applies aging when due.
+// minimal counters grow) and applies aging when due. Saturated keys
+// skip the increment but still advance the aging clock — the old
+// early-return here silently disabled aging exactly when the sketch
+// filled up, freezing stale popularity for the rest of a long replay.
 func (cm *CountMin) Add(key uint64) {
 	min := uint8(math.MaxUint8)
 	for r := 0; r < cm.rows; r++ {
@@ -62,18 +73,17 @@ func (cm *CountMin) Add(key uint64) {
 			min = c
 		}
 	}
-	if min == math.MaxUint8 {
-		return // saturated
-	}
-	for r := 0; r < cm.rows; r++ {
-		i := cm.idx(r, key)
-		if cm.counts[r][i] == min {
-			cm.counts[r][i]++
+	if min < math.MaxUint8 {
+		for r := 0; r < cm.rows; r++ {
+			i := cm.idx(r, key)
+			if cm.counts[r][i] == min {
+				cm.counts[r][i]++
+			}
 		}
 	}
 	cm.adds++
 	if cm.ResetAt > 0 && cm.adds >= cm.ResetAt {
-		cm.age()
+		cm.Halve()
 	}
 }
 
@@ -88,8 +98,11 @@ func (cm *CountMin) Estimate(key uint64) uint32 {
 	return uint32(min)
 }
 
-// age halves every counter.
-func (cm *CountMin) age() {
+// Halve ages the sketch: every counter is halved, the aging clock
+// resets, and OnAge (if set) runs. Add calls it automatically every
+// ResetAt increments; callers with their own deterministic schedule
+// (replay epochs, training windows) may invoke it directly.
+func (cm *CountMin) Halve() {
 	for r := range cm.counts {
 		row := cm.counts[r]
 		for i := range row {
@@ -97,7 +110,14 @@ func (cm *CountMin) age() {
 		}
 	}
 	cm.adds = 0
+	if cm.OnAge != nil {
+		cm.OnAge()
+	}
 }
+
+// Adds returns how many increments the current aging period has
+// absorbed.
+func (cm *CountMin) Adds() uint64 { return cm.adds }
 
 // Bloom is a simple blocked Bloom filter used as TinyLFU's doorkeeper.
 type Bloom struct {

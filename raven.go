@@ -69,6 +69,26 @@ type (
 	Raven = core.Raven
 	// Goal selects Raven's optimization target (OHR or BHR).
 	Goal = core.Goal
+	// Decision is the typed result of an admission check: whether the
+	// object may be inserted and, on refusal, the rejecting stage's
+	// reason (exported per reason over METRICS as
+	// cache.admit_rejects.<reason>).
+	Decision = cache.Decision
+	// Admitter is the typed admission seam — an optional Policy
+	// extension consulted before each miss is inserted.
+	Admitter = cache.Admitter
+	// AdmissionOptions selects and tunes the admission front-end
+	// pipeline (off | doorkeeper | learned).
+	AdmissionOptions = policy.AdmissionOptions
+	// PrefetchOptions arms Raven's MDN-driven prefetch queue.
+	PrefetchOptions = policy.PrefetchOptions
+)
+
+// Admission front-end modes for AdmissionOptions.Mode.
+const (
+	AdmitOff        = policy.AdmitOff
+	AdmitDoorkeeper = policy.AdmitDoorkeeper
+	AdmitLearned    = policy.AdmitLearned
 )
 
 // Raven optimization goals (§3.4).
@@ -131,6 +151,27 @@ func NewCache(capacity int64, p Policy) *Cache { return cache.New(capacity, p) }
 func NewShardedCache(capacity int64, shards int, newPolicy ShardFactory) (*ShardedCache, error) {
 	return cache.NewSharded(capacity, shards, newPolicy)
 }
+
+// NewFrontedCache builds a cache whose policy is fronted by the
+// configured admission pipeline and prefetch queue: a one-call
+// composition of LookupPolicy + PolicyOptions.Admission/Prefetch +
+// NewCache. With opts.Admission and opts.Prefetch zero it is exactly
+// NewPolicy + NewCache.
+func NewFrontedCache(capacity int64, name string, opts PolicyOptions) (*Cache, error) {
+	if opts.Capacity == 0 {
+		opts.Capacity = capacity
+	}
+	p, err := policy.New(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return cache.New(capacity, p), nil
+}
+
+// UnwrapPolicy returns the innermost policy behind admission (or
+// other) wrappers, for callers that type-assert concrete policy state
+// — e.g. UnwrapPolicy(p).(*raven.Raven) to read checkpoint status.
+func UnwrapPolicy(p Policy) Policy { return cache.Unwrap(p) }
 
 // Simulate replays a trace through a fresh cache and returns the
 // measurements.

@@ -78,8 +78,8 @@ func TestFacadeNetModels(t *testing.T) {
 
 func TestFacadeExperimentIDs(t *testing.T) {
 	ids := raven.ExperimentIDs()
-	if len(ids) != 29 {
-		t.Errorf("expected 29 experiments, got %d", len(ids))
+	if len(ids) != 30 {
+		t.Errorf("expected 30 experiments, got %d", len(ids))
 	}
 }
 

@@ -92,6 +92,9 @@ if ! cmp -s "${LINT_DIR}/baseline.json" .ravenlint-baseline.json; then
 fi
 rm -rf "${LINT_DIR}"
 
+echo "==> admission + prefetch determinism (double run, Workers 1 vs 8)"
+go test -count=1 -run 'TestAdmissionPrefetchBitExact|TestAdmissionOffMatchesUnfronted' ./internal/sim/
+
 echo "==> eviction alloc sweep (0 allocs/op at Workers 1,2,4,8)"
 go test -count=1 -run 'TestEvictionPathAllocFree|TestFastPathAllocFree' ./internal/core/
 
